@@ -1,0 +1,122 @@
+// Command lolohadata generates and inspects the four evaluation workloads
+// of §5.1 (syn, adult, db_mt, db_de):
+//
+//	lolohadata -dataset syn                  # summary statistics
+//	lolohadata -dataset adult -hist          # marginal histogram sketch
+//	lolohadata -dataset db_mt -export x.csv  # dump user×round value matrix
+//
+// The folktables and Adult workloads are offline surrogates; DESIGN.md
+// documents what they preserve from the originals.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+
+	"github.com/loloha-ldp/loloha/internal/datasets"
+	"github.com/loloha-ldp/loloha/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lolohadata:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name   = flag.String("dataset", "syn", "syn, adult, db_mt, db_de or all")
+		seed   = flag.Int64("seed", 42, "generation seed")
+		hist   = flag.Bool("hist", false, "print a sketch of the round-0 marginal")
+		export = flag.String("export", "", "write the value matrix as CSV to this path")
+	)
+	flag.Parse()
+
+	names := datasets.Names()
+	if *name != "all" {
+		names = []string{*name}
+	}
+	for _, n := range names {
+		ds, err := datasets.ByName(n, uint64(*seed))
+		if err != nil {
+			return err
+		}
+		if err := summarize(ds, *hist); err != nil {
+			return err
+		}
+		if *export != "" {
+			if err := exportCSV(ds, *export); err != nil {
+				return err
+			}
+			fmt.Printf("value matrix written to %s\n", *export)
+		}
+	}
+	return nil
+}
+
+func summarize(ds *datasets.Dataset, hist bool) error {
+	fmt.Printf("== %s ==\n", ds.Name)
+	tbl := report.NewTable("property", "value")
+	tbl.AddRow("domain size k", ds.K)
+	tbl.AddRow("users n", ds.N())
+	tbl.AddRow("collections tau", ds.Tau())
+	tbl.AddRow("change rate", ds.ChangeRate())
+
+	distinct := ds.DistinctPerUser()
+	sort.Ints(distinct)
+	tbl.AddRow("distinct values/user (median)", distinct[len(distinct)/2])
+	tbl.AddRow("distinct values/user (max)", distinct[len(distinct)-1])
+	total := 0
+	for _, d := range distinct {
+		total += d
+	}
+	tbl.AddRow("distinct values/user (mean)", float64(total)/float64(len(distinct)))
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	if hist {
+		fmt.Println("\nround-0 marginal (16 coarse bins):")
+		freq := ds.TrueFrequencies(0)
+		bins := make([]float64, 16)
+		for v, f := range freq {
+			bins[v*16/ds.K] += f
+		}
+		labels := make([]string, 16)
+		for i := range labels {
+			labels[i] = fmt.Sprintf("[%d..%d)", i*ds.K/16, (i+1)*ds.K/16)
+		}
+		if err := report.Histogram(os.Stdout, bins, labels, 40); err != nil {
+			return err
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func exportCSV(ds *datasets.Dataset, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	header := make([]string, ds.Tau()+1)
+	header[0] = "user"
+	for t := 1; t <= ds.Tau(); t++ {
+		header[t] = "t" + strconv.Itoa(t-1)
+	}
+	rows := make([][]string, ds.N())
+	for u := 0; u < ds.N(); u++ {
+		row := make([]string, ds.Tau()+1)
+		row[0] = strconv.Itoa(u)
+		for t := 0; t < ds.Tau(); t++ {
+			row[t+1] = strconv.Itoa(ds.Value(u, t))
+		}
+		rows[u] = row
+	}
+	return report.WriteCSV(f, header, rows)
+}

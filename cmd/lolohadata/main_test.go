@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/loloha-ldp/loloha/internal/datasets"
+)
+
+func TestSummarizeRuns(t *testing.T) {
+	ds := datasets.Syn(datasets.SynConfig{K: 20, N: 100, Tau: 5, Seed: 1})
+	if err := summarize(ds, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExportCSV(t *testing.T) {
+	ds := datasets.Syn(datasets.SynConfig{K: 10, N: 4, Tau: 3, Seed: 2})
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := exportCSV(ds, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 1+4 { // header + one row per user
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if lines[0] != "user,t0,t1,t2" {
+		t.Errorf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,") {
+		t.Errorf("first row %q", lines[1])
+	}
+}
+
+func TestExportCSVBadPath(t *testing.T) {
+	ds := datasets.Syn(datasets.SynConfig{K: 10, N: 2, Tau: 2, Seed: 3})
+	if err := exportCSV(ds, "/nonexistent-dir/x.csv"); err == nil {
+		t.Error("bad path accepted")
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/loloha-ldp/loloha/internal/simulation"
+)
+
+func TestParseFloats(t *testing.T) {
+	def := []float64{1, 2}
+	got, err := parseFloats("", def)
+	if err != nil || len(got) != 2 || got[0] != 1 {
+		t.Errorf("default parse: %v %v", got, err)
+	}
+	got, err = parseFloats("0.5, 1.5,3", def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 1.5, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("parsed %v, want %v", got, want)
+		}
+	}
+	if _, err := parseFloats("0.5,x", def); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestFloatHeaders(t *testing.T) {
+	h := floatHeaders([]float64{0.5, 1, 2.25})
+	want := []string{"0.5", "1", "2.25"}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Errorf("headers %v, want %v", h, want)
+		}
+	}
+}
+
+func TestOrderedProtocols(t *testing.T) {
+	pts := []simulation.Point{
+		{Protocol: "B"}, {Protocol: "A"}, {Protocol: "B"}, {Protocol: "C"},
+	}
+	got := orderedProtocols(pts)
+	want := []string{"B", "A", "C"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunRejectsUnknownCommand(t *testing.T) {
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run(nil); err == nil {
+		t.Error("missing command accepted")
+	}
+	if err := run([]string{"fig3", "-eps", "zzz"}); err == nil {
+		t.Error("bad eps grid accepted")
+	}
+}
+
+func TestRunFig1SmokeTest(t *testing.T) {
+	// fig1 is closed-form and instant; run it end to end.
+	if err := run([]string{"fig1", "-eps", "0.5,1", "-alphas", "0.2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable1SmokeTest(t *testing.T) {
+	if err := run([]string{"table1"}); err != nil {
+		t.Fatal(err)
+	}
+}

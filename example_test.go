@@ -1,0 +1,71 @@
+package loloha_test
+
+import (
+	"fmt"
+
+	loloha "github.com/loloha-ldp/loloha"
+)
+
+// The simplest possible deployment: one cohort, one round.
+func ExampleNewCohort() {
+	proto, err := loloha.NewBiLOLOHA(4, 1.0, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	cohort, err := loloha.NewCohort(proto, 3, 42)
+	if err != nil {
+		panic(err)
+	}
+	est, err := cohort.Collect([]int{0, 0, 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(est), "estimates; worst ε̌ =", cohort.MaxPrivacySpent())
+	// Output: 4 estimates; worst ε̌ = 1
+}
+
+// Choosing the reduced domain size: the closed-form optimum of Eq. (6).
+func ExampleOptimalG() {
+	fmt.Println(loloha.OptimalG(1.0, 0.5)) // high privacy: binary
+	fmt.Println(loloha.OptimalG(5.0, 3.0)) // low privacy: larger g
+	// Output:
+	// 2
+	// 17
+}
+
+// The longitudinal budget guarantee of Theorem 3.5.
+func ExampleNewBiLOLOHA() {
+	proto, err := loloha.NewBiLOLOHA(1000, 1.5, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("k=%d compresses to g=%d; lifetime budget %.1f vs RAPPOR's %.1f\n",
+		proto.K(), proto.G(), proto.LongitudinalBudget(), 1000*1.5)
+	// Output: k=1000 compresses to g=2; lifetime budget 3.0 vs RAPPOR's 1500.0
+}
+
+// Wire-level ingestion: enroll once, then stream payload bytes.
+func ExampleNewCollection() {
+	proto, err := loloha.NewBiLOLOHA(8, 1.0, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	col, err := loloha.NewCollection(proto)
+	if err != nil {
+		panic(err)
+	}
+	// One device:
+	client := proto.NewClient(7)
+	rep := client.Report(3)
+	// Registration metadata travels once; payloads every round.
+	type seeded interface{ HashSeed() uint64 }
+	if err := col.Enroll(0, loloha.Registration{HashSeed: client.(seeded).HashSeed()}); err != nil {
+		panic(err)
+	}
+	if err := col.Ingest(0, rep.AppendBinary(nil)); err != nil {
+		panic(err)
+	}
+	est := col.CloseRound()
+	fmt.Println(len(est), "estimates from", col.Enrolled(), "user")
+	// Output: 8 estimates from 1 user
+}

@@ -1,0 +1,222 @@
+// Integration tests asserting the paper's headline claims end-to-end at
+// reduced scale: the protocols, datasets, harness, attacks and accounting
+// all composed the way cmd/lolohasim composes them. These are "shape"
+// tests — who wins, by roughly what factor — exactly the reproduction
+// criteria of EXPERIMENTS.md.
+package loloha_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/loloha-ldp/loloha/internal/analysis"
+	"github.com/loloha-ldp/loloha/internal/datasets"
+	"github.com/loloha-ldp/loloha/internal/simulation"
+)
+
+// integrationDataset is a Syn-style workload small enough for CI but large
+// enough that protocol orderings are stable.
+func integrationDataset() *datasets.Dataset {
+	return datasets.Syn(datasets.SynConfig{K: 60, N: 4000, Tau: 12, ChangeProb: 0.25, Seed: 17})
+}
+
+func runMSEOnce(t *testing.T, ds *datasets.Dataset, epsInf, alpha float64, names ...string) map[string]float64 {
+	t.Helper()
+	var specs []simulation.Spec
+	for _, n := range names {
+		s, err := simulation.SpecByName("syn", ds.K, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	pts, err := simulation.RunMSE(ds, specs, simulation.Config{
+		EpsInfs: []float64{epsInf}, Alphas: []float64{alpha},
+		Runs: 3, Seed: 99, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	for _, p := range pts {
+		if p.Err != nil {
+			t.Fatalf("%s: %v", p.Protocol, p.Err)
+		}
+		out[p.Protocol] = p.Mean
+	}
+	return out
+}
+
+func TestFig3ShapeProtocolOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	ds := integrationDataset()
+	mse := runMSEOnce(t, ds, 2.0, 0.5,
+		"RAPPOR", "L-OSUE", "L-GRR", "BiLOLOHA", "OLOLOHA", "1BitFlipPM", "bBitFlipPM")
+
+	// Paper §5.2, Fig. 3: bBitFlipPM best (single sanitization round, all
+	// bits); L-GRR and 1BitFlipPM worst; OLOLOHA comparable to L-OSUE.
+	for _, proto := range []string{"RAPPOR", "L-OSUE", "BiLOLOHA", "OLOLOHA"} {
+		if mse["bBitFlipPM"] >= mse[proto] {
+			t.Errorf("bBitFlipPM MSE %v not below %s %v", mse["bBitFlipPM"], proto, mse[proto])
+		}
+		if mse["L-GRR"] <= mse[proto] {
+			t.Errorf("L-GRR MSE %v not above %s %v (k=60 should already hurt)",
+				mse["L-GRR"], proto, mse[proto])
+		}
+		if mse["1BitFlipPM"] <= mse[proto] {
+			t.Errorf("1BitFlipPM MSE %v not above %s %v", mse["1BitFlipPM"], proto, mse[proto])
+		}
+	}
+	ratio := mse["OLOLOHA"] / mse["L-OSUE"]
+	if ratio > 2.0 || ratio < 0.5 {
+		t.Errorf("OLOLOHA/L-OSUE MSE ratio %v, want ~1 (the OLH/OUE connection)", ratio)
+	}
+}
+
+func TestFig3ShapeMSEMatchesEq5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// The paper validates Fig. 3 against Fig. 2: measured MSE must match
+	// the Eq. (5) approximate variance. Check RAPPOR and BiLOLOHA.
+	ds := integrationDataset()
+	mse := runMSEOnce(t, ds, 2.0, 0.5, "RAPPOR", "BiLOLOHA")
+	vr, err := analysis.VStarRAPPOR(2.0, 1.0, ds.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := analysis.VStarBiLOLOHA(2.0, 1.0, ds.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := mse["RAPPOR"] / vr; r < 0.7 || r > 1.4 {
+		t.Errorf("RAPPOR measured/theory = %v (measured %v, V* %v)", r, mse["RAPPOR"], vr)
+	}
+	if r := mse["BiLOLOHA"] / vb; r < 0.7 || r > 1.4 {
+		t.Errorf("BiLOLOHA measured/theory = %v (measured %v, V* %v)", r, mse["BiLOLOHA"], vb)
+	}
+}
+
+func TestFig4ShapeBudgetSeparation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// Long collection so ledger caps bind: LOLOHA variants stay capped,
+	// k-linear protocols keep paying per distinct value.
+	ds := datasets.Syn(datasets.SynConfig{K: 60, N: 800, Tau: 200, ChangeProb: 0.25, Seed: 23})
+	var specs []simulation.Spec
+	for _, n := range []string{"RAPPOR", "L-OSUE", "L-GRR", "BiLOLOHA", "OLOLOHA", "1BitFlipPM", "bBitFlipPM"} {
+		s, err := simulation.SpecByName("syn", ds.K, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	const epsInf = 1.0
+	pts, err := simulation.RunPrivacyLoss(ds, specs, simulation.Config{
+		EpsInfs: []float64{epsInf}, Alphas: []float64{0.5},
+		Runs: 1, Seed: 7, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := map[string]float64{}
+	for _, p := range pts {
+		eps[p.Protocol] = p.Mean
+	}
+	// Caps.
+	if eps["BiLOLOHA"] > 2*epsInf+1e-9 {
+		t.Errorf("BiLOLOHA ε̌ %v exceeds 2ε∞", eps["BiLOLOHA"])
+	}
+	if eps["1BitFlipPM"] > 2*epsInf+1e-9 {
+		t.Errorf("1BitFlipPM ε̌ %v exceeds 2ε∞", eps["1BitFlipPM"])
+	}
+	// k-linear protocols all agree (they track distinct raw values) and
+	// dwarf the LOLOHA variants.
+	if math.Abs(eps["RAPPOR"]-eps["L-OSUE"]) > 1e-9 || math.Abs(eps["RAPPOR"]-eps["L-GRR"]) > 1e-9 {
+		t.Errorf("k-linear ledgers disagree: RAPPOR %v L-OSUE %v L-GRR %v",
+			eps["RAPPOR"], eps["L-OSUE"], eps["L-GRR"])
+	}
+	if eps["RAPPOR"] < 10*eps["BiLOLOHA"] {
+		t.Errorf("RAPPOR ε̌ %v not ≫ BiLOLOHA %v", eps["RAPPOR"], eps["BiLOLOHA"])
+	}
+	if eps["OLOLOHA"] >= eps["RAPPOR"] {
+		t.Errorf("OLOLOHA ε̌ %v not below RAPPOR %v", eps["OLOLOHA"], eps["RAPPOR"])
+	}
+	// bBitFlipPM with b = k tracks the k-linear protocols (within the cap
+	// structure: it charges per distinct bucket = distinct value).
+	if math.Abs(eps["bBitFlipPM"]-eps["RAPPOR"]) > 1e-9 {
+		t.Errorf("bBitFlipPM ε̌ %v != RAPPOR %v on b=k", eps["bBitFlipPM"], eps["RAPPOR"])
+	}
+}
+
+func TestTable2ShapeDetection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	ds := datasets.Syn(datasets.SynConfig{K: 60, N: 400, Tau: 60, ChangeProb: 0.25, Seed: 29})
+	pts, err := simulation.RunDetection(ds, 60, []int{1, 60}, simulation.Config{
+		EpsInfs: []float64{1.0, 5.0}, Alphas: []float64{0.5},
+		Runs: 1, Seed: 31, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := map[string]map[float64]float64{}
+	for _, p := range pts {
+		if rates[p.Protocol] == nil {
+			rates[p.Protocol] = map[float64]float64{}
+		}
+		rates[p.Protocol][p.EpsInf] = p.Mean
+	}
+	for _, e := range []float64{1.0, 5.0} {
+		if r := rates["d=1"][e]; r > 0.02 {
+			t.Errorf("d=1 eps=%v: fully-detected %v, want ~0", e, r)
+		}
+		if r := rates["d=60"][e]; r < 0.98 {
+			t.Errorf("d=b eps=%v: fully-detected %v, want ~1", e, r)
+		}
+	}
+}
+
+func TestAllDatasetsReplayEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// Miniature versions of all four workload families run through a full
+	// protocol round trip without error and with sane estimates.
+	mini := []*datasets.Dataset{
+		datasets.Syn(datasets.SynConfig{K: 30, N: 1500, Tau: 4, Seed: 3}),
+		datasets.Adult(datasets.AdultConfig{N: 1500, Tau: 4, Seed: 3}),
+	}
+	if folk, err := datasets.Folk(datasets.FolkConfig{Name: "mini", K: 120, N: 1500, Tau: 4, Seed: 3}); err == nil {
+		mini = append(mini, folk)
+	} else {
+		t.Fatal(err)
+	}
+	for _, ds := range mini {
+		spec, err := simulation.SpecByName("syn", ds.K, "OLOLOHA")
+		if err != nil {
+			t.Fatal(err)
+		}
+		proto, err := spec.Build(ds.K, 2.0, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := simulation.Replay(ds, proto, 5)
+		for round := range est {
+			truth := ds.TrueFrequencies(round)
+			worst := 0.0
+			for v := range truth {
+				if d := math.Abs(est[round][v] - truth[v]); d > worst {
+					worst = d
+				}
+			}
+			if worst > 0.25 {
+				t.Errorf("%s round %d: worst error %v", ds.Name, round, worst)
+			}
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package analysis evaluates the paper's closed-form results numerically:
+// the optimal-g curves of Fig. 1, the approximate-variance comparison of
+// Fig. 2, the theoretical comparison of Table 1 and the accuracy bound of
+// Proposition 3.6. Everything here is deterministic arithmetic — no
+// sampling — so the figures it produces are exact.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/loloha-ldp/loloha/internal/core"
+	"github.com/loloha-ldp/loloha/internal/longitudinal"
+)
+
+// DefaultEpsInfGrid is the ε∞ grid used throughout the paper's evaluation:
+// [0.5, 1, ..., 4.5, 5].
+func DefaultEpsInfGrid() []float64 {
+	out := make([]float64, 10)
+	for i := range out {
+		out[i] = 0.5 * float64(i+1)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Per-protocol approximate variances V* (Eq. (5) instantiations).
+
+// VStarRAPPOR returns V* of RAPPOR (L-SUE) with n users.
+func VStarRAPPOR(epsInf, eps1 float64, n int) (float64, error) {
+	p, err := longitudinal.LSUEParams(epsInf, eps1)
+	if err != nil {
+		return 0, err
+	}
+	return p.ApproxVariance(n), nil
+}
+
+// VStarLOSUE returns V* of L-OSUE with n users.
+func VStarLOSUE(epsInf, eps1 float64, n int) (float64, error) {
+	p, err := longitudinal.LOSUEParams(epsInf, eps1)
+	if err != nil {
+		return 0, err
+	}
+	return p.ApproxVariance(n), nil
+}
+
+// VStarLGRR returns V* of L-GRR over domain size k with n users.
+func VStarLGRR(epsInf, eps1 float64, k, n int) (float64, error) {
+	m, err := longitudinal.NewLGRR(k, epsInf, eps1)
+	if err != nil {
+		return 0, err
+	}
+	return m.ApproxVariance(n), nil
+}
+
+// VStarLOLOHA returns V* of LOLOHA with reduced domain g and n users
+// (Algorithm 2 parameters, q′₁ = 1/g).
+func VStarLOLOHA(epsInf, eps1 float64, g, n int) (float64, error) {
+	epsIRR, err := longitudinal.EpsIRR(epsInf, eps1)
+	if err != nil {
+		return 0, err
+	}
+	gf := float64(g)
+	a, c := math.Exp(epsInf), math.Exp(epsIRR)
+	params := longitudinal.ChainParams{
+		P1: a / (a + gf - 1),
+		Q1: 1 / gf,
+		P2: c / (c + gf - 1),
+		Q2: 1 / (c + gf - 1),
+	}
+	return params.ApproxVariance(n), nil
+}
+
+// VStarLOLOHAExactIRR returns V* of a LOLOHA configuration whose IRR is
+// calibrated with the exact g-ary formula (longitudinal.ExactEpsIRR)
+// instead of the paper's Algorithm 1 formula — the ablation of DESIGN.md.
+func VStarLOLOHAExactIRR(epsInf, eps1 float64, g, n int) (float64, error) {
+	epsIRR, err := longitudinal.ExactEpsIRR(epsInf, eps1, g)
+	if err != nil {
+		return 0, err
+	}
+	gf := float64(g)
+	a, c := math.Exp(epsInf), math.Exp(epsIRR)
+	params := longitudinal.ChainParams{
+		P1: a / (a + gf - 1),
+		Q1: 1 / gf,
+		P2: c / (c + gf - 1),
+		Q2: 1 / (c + gf - 1),
+	}
+	return params.ApproxVariance(n), nil
+}
+
+// VStarBiLOLOHA returns V* of BiLOLOHA (g = 2).
+func VStarBiLOLOHA(epsInf, eps1 float64, n int) (float64, error) {
+	return VStarLOLOHA(epsInf, eps1, 2, n)
+}
+
+// VStarOLOLOHA returns V* of OLOLOHA (g from Eq. (6)).
+func VStarOLOLOHA(epsInf, eps1 float64, n int) (float64, error) {
+	return VStarLOLOHA(epsInf, eps1, core.OptimalG(epsInf, eps1), n)
+}
+
+// VStarDBitFlip returns the single-round approximate variance of
+// dBitFlipPM with b buckets and d sampled bits:
+// b·e^{ε∞/2} / (n·d·(e^{ε∞/2}−1)²) (§4).
+func VStarDBitFlip(epsInf float64, b, d, n int) (float64, error) {
+	if epsInf <= 0 {
+		return 0, fmt.Errorf("analysis: epsInf must be positive, got %v", epsInf)
+	}
+	if d < 1 || d > b {
+		return 0, fmt.Errorf("analysis: need 1 <= d <= b, got d=%d b=%d", d, b)
+	}
+	e := math.Exp(epsInf / 2)
+	return float64(b) * e / (float64(n) * float64(d) * (e - 1) * (e - 1)), nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 1: optimal g selection.
+
+// Fig1Point is one point of the optimal-g curves.
+type Fig1Point struct {
+	Alpha    float64
+	EpsInf   float64
+	OptimalG int
+}
+
+// Fig1 evaluates Eq. (6) over the grid of ε∞ and α = ε1/ε∞ values.
+func Fig1(epsInfs, alphas []float64) []Fig1Point {
+	var out []Fig1Point
+	for _, a := range alphas {
+		for _, e := range epsInfs {
+			out = append(out, Fig1Point{Alpha: a, EpsInf: e, OptimalG: core.OptimalG(e, a*e)})
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2: numeric V* comparison.
+
+// Fig2Protocols lists the protocols plotted in Fig. 2, in legend order.
+var Fig2Protocols = []string{"L-OSUE", "OLOLOHA", "RAPPOR", "BiLOLOHA"}
+
+// Fig2Point is one point of the Fig. 2 variance curves.
+type Fig2Point struct {
+	Protocol string
+	Alpha    float64
+	EpsInf   float64
+	VStar    float64
+}
+
+// Fig2 evaluates V* for the four Fig. 2 protocols over the grid with n
+// users (the paper uses n = 10000).
+func Fig2(n int, epsInfs, alphas []float64) ([]Fig2Point, error) {
+	var out []Fig2Point
+	for _, proto := range Fig2Protocols {
+		for _, a := range alphas {
+			for _, e := range epsInfs {
+				eps1 := a * e
+				var v float64
+				var err error
+				switch proto {
+				case "L-OSUE":
+					v, err = VStarLOSUE(e, eps1, n)
+				case "OLOLOHA":
+					v, err = VStarOLOLOHA(e, eps1, n)
+				case "RAPPOR":
+					v, err = VStarRAPPOR(e, eps1, n)
+				case "BiLOLOHA":
+					v, err = VStarBiLOLOHA(e, eps1, n)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("analysis: %s at eps∞=%v α=%v: %w", proto, e, a, err)
+				}
+				out = append(out, Fig2Point{Protocol: proto, Alpha: a, EpsInf: e, VStar: v})
+			}
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Proposition 3.6: accuracy bound.
+
+// AccuracyBound returns the high-probability uniform error bound of
+// Proposition 3.6: with probability ≥ 1−β,
+//
+//	max_v |f̂(v) − f(v)| < sqrt(k / (4·n·β·(p1−q′1)(p2−q2))).
+func AccuracyBound(k, n int, beta float64, params longitudinal.ChainParams) (float64, error) {
+	if beta <= 0 || beta >= 1 {
+		return 0, fmt.Errorf("analysis: beta must be in (0,1), got %v", beta)
+	}
+	if k < 1 || n < 1 {
+		return 0, fmt.Errorf("analysis: need k, n >= 1, got k=%d n=%d", k, n)
+	}
+	d1 := params.P1 - params.Q1
+	d2 := params.P2 - params.Q2
+	if d1 <= 0 || d2 <= 0 {
+		return 0, fmt.Errorf("analysis: degenerate chain params %+v", params)
+	}
+	return math.Sqrt(float64(k) / (4 * float64(n) * beta * d1 * d2)), nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 1: theoretical comparison.
+
+// Table1Row is one protocol's row of Table 1.
+type Table1Row struct {
+	Protocol string
+	// CommBits is the communication cost in bits per user per time step.
+	CommBits int
+	// CommFormula is the symbolic form of CommBits.
+	CommFormula string
+	// ServerTime is the symbolic server run-time complexity per step.
+	ServerTime string
+	// Budget is the worst-case longitudinal privacy budget in units of ε∞.
+	BudgetUnits int
+	// BudgetFormula is the symbolic form of BudgetUnits.
+	BudgetFormula string
+}
+
+// Table1 instantiates the paper's Table 1 for concrete sizes: domain k,
+// LOLOHA reduced domain g, dBitFlipPM buckets b and sampled bits d.
+func Table1(k, g, b, d int) []Table1Row {
+	ceilLog2 := func(x int) int {
+		bits := 0
+		for 1<<bits < x {
+			bits++
+		}
+		return bits
+	}
+	minInt := func(a, b int) int {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	return []Table1Row{
+		{
+			Protocol: "LOLOHA", CommBits: ceilLog2(g), CommFormula: "ceil(log2 g)",
+			ServerTime: "n*k", BudgetUnits: g, BudgetFormula: "g",
+		},
+		{
+			Protocol: "L-GRR", CommBits: ceilLog2(k), CommFormula: "ceil(log2 k)",
+			ServerTime: "n", BudgetUnits: k, BudgetFormula: "k",
+		},
+		{
+			Protocol: "RAPPOR", CommBits: k, CommFormula: "k",
+			ServerTime: "n*k", BudgetUnits: k, BudgetFormula: "k",
+		},
+		{
+			Protocol: "L-OSUE", CommBits: k, CommFormula: "k",
+			ServerTime: "n*k", BudgetUnits: k, BudgetFormula: "k",
+		},
+		{
+			Protocol: "dBitFlipPM", CommBits: d, CommFormula: "d",
+			ServerTime: "n*b", BudgetUnits: minInt(d+1, b), BudgetFormula: "min(d+1, b)",
+		},
+	}
+}

@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"github.com/loloha-ldp/loloha/internal/longitudinal"
+)
+
+func TestDefaultEpsInfGrid(t *testing.T) {
+	g := DefaultEpsInfGrid()
+	if len(g) != 10 || g[0] != 0.5 || g[9] != 5.0 {
+		t.Fatalf("grid = %v", g)
+	}
+	for i := 1; i < len(g); i++ {
+		if math.Abs(g[i]-g[i-1]-0.5) > 1e-12 {
+			t.Fatalf("grid not spaced by 0.5: %v", g)
+		}
+	}
+}
+
+func TestFig2ShapeMatchesPaper(t *testing.T) {
+	// §4 findings: (i) all four protocols are close when α ≤ 0.3;
+	// (ii) at high ε∞ and high α, OLOLOHA ≈ L-OSUE outperform
+	// RAPPOR ≈ BiLOLOHA.
+	const n = 10000
+	at := func(proto string, epsInf, alpha float64) float64 {
+		pts, err := Fig2(n, []float64{epsInf}, []float64{alpha})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Protocol == proto {
+				return p.VStar
+			}
+		}
+		t.Fatalf("protocol %s missing", proto)
+		return 0
+	}
+
+	// Low-α regime: within a factor 2 of each other.
+	for _, proto := range []string{"OLOLOHA", "RAPPOR", "BiLOLOHA"} {
+		ref := at("L-OSUE", 1.0, 0.2)
+		v := at(proto, 1.0, 0.2)
+		if v > 2*ref || v < ref/2 {
+			t.Errorf("α=0.2: %s V*=%v far from L-OSUE %v", proto, v, ref)
+		}
+	}
+
+	// High-ε∞, high-α regime: optimized beat symmetric/binary clearly.
+	if at("OLOLOHA", 5, 0.6) >= at("BiLOLOHA", 5, 0.6) {
+		t.Error("OLOLOHA should beat BiLOLOHA at eps∞=5, α=0.6")
+	}
+	if at("L-OSUE", 5, 0.6) >= at("RAPPOR", 5, 0.6) {
+		t.Error("L-OSUE should beat RAPPOR at eps∞=5, α=0.6")
+	}
+	// OLOLOHA tracks L-OSUE closely (the OLH/OUE connection).
+	ratio := at("OLOLOHA", 5, 0.6) / at("L-OSUE", 5, 0.6)
+	if ratio > 1.6 || ratio < 0.6 {
+		t.Errorf("OLOLOHA/L-OSUE variance ratio %v, want ~1", ratio)
+	}
+}
+
+func TestFig2MonotoneDecreasingInEps(t *testing.T) {
+	pts, err := Fig2(10000, DefaultEpsInfGrid(), []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := map[string]float64{}
+	for _, p := range pts {
+		if prev, ok := last[p.Protocol]; ok && p.VStar >= prev {
+			t.Errorf("%s V* not decreasing at eps∞=%v: %v >= %v",
+				p.Protocol, p.EpsInf, p.VStar, prev)
+		}
+		last[p.Protocol] = p.VStar
+	}
+}
+
+func TestFig1CurvesMatchEq6(t *testing.T) {
+	pts := Fig1([]float64{0.5, 5}, []float64{0.1, 0.6})
+	if len(pts) != 4 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.OptimalG < 2 {
+			t.Errorf("optimal g %d < 2 at %+v", p.OptimalG, p)
+		}
+	}
+	// α=0.1 in high privacy stays binary; α=0.6 at ε∞=5 is large.
+	for _, p := range pts {
+		if p.Alpha == 0.1 && p.EpsInf == 0.5 && p.OptimalG != 2 {
+			t.Errorf("α=0.1 ε∞=0.5: g = %d, want 2", p.OptimalG)
+		}
+		if p.Alpha == 0.6 && p.EpsInf == 5 && p.OptimalG < 14 {
+			t.Errorf("α=0.6 ε∞=5: g = %d, want ~16", p.OptimalG)
+		}
+	}
+}
+
+func TestVStarLGRRSensitiveToK(t *testing.T) {
+	// §4: "L-GRR has shown to be very sensitive to k".
+	small, err := VStarLGRR(2, 1, 4, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := VStarLGRR(2, 1, 1412, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big < 100*small {
+		t.Errorf("L-GRR V* at k=1412 (%v) should dwarf k=4 (%v)", big, small)
+	}
+}
+
+func TestVStarDBitFlip(t *testing.T) {
+	// More sampled bits -> lower variance, linearly.
+	v1, err := VStarDBitFlip(2, 90, 1, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := VStarDBitFlip(2, 90, 90, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v1/vb-90) > 1e-9 {
+		t.Errorf("d-scaling wrong: v1/vb = %v, want 90", v1/vb)
+	}
+	if _, err := VStarDBitFlip(2, 10, 11, 100); err == nil {
+		t.Error("d > b accepted")
+	}
+	if _, err := VStarDBitFlip(0, 10, 2, 100); err == nil {
+		t.Error("eps=0 accepted")
+	}
+}
+
+func TestVStarLOLOHAExactIRRNeverWorse(t *testing.T) {
+	// The exact g-ary calibration matches the paper at g=2 and strictly
+	// improves for g>2 (DESIGN.md ablation).
+	for _, e := range []float64{1, 2, 5} {
+		for _, a := range []float64{0.3, 0.5} {
+			eps1 := a * e
+			for _, g := range []int{2, 4, 8, 16} {
+				paper, err := VStarLOLOHA(e, eps1, g, 10000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				exact, err := VStarLOLOHAExactIRR(e, eps1, g, 10000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if g == 2 {
+					if math.Abs(paper-exact) > 1e-9*paper {
+						t.Errorf("g=2 e=%v a=%v: exact %v != paper %v", e, a, exact, paper)
+					}
+				} else if exact >= paper {
+					t.Errorf("g=%d e=%v a=%v: exact %v not below paper %v",
+						g, e, a, exact, paper)
+				}
+			}
+		}
+	}
+}
+
+func TestVStarLOLOHAMatchesEmpiricalOrdering(t *testing.T) {
+	// BiLOLOHA (g=2) must be the best LOLOHA configuration at high privacy
+	// and beaten by larger g at low privacy — Fig. 1's whole point.
+	lo2, _ := VStarLOLOHA(0.5, 0.05, 2, 1000)
+	lo8, _ := VStarLOLOHA(0.5, 0.05, 8, 1000)
+	if lo2 >= lo8 {
+		t.Errorf("high privacy: g=2 V* %v should beat g=8 %v", lo2, lo8)
+	}
+	hi2, _ := VStarLOLOHA(5, 3, 2, 1000)
+	hiOpt, _ := VStarLOLOHA(5, 3, 16, 1000)
+	if hiOpt >= hi2 {
+		t.Errorf("low privacy: g=16 V* %v should beat g=2 %v", hiOpt, hi2)
+	}
+}
+
+func TestAccuracyBoundProposition36(t *testing.T) {
+	params := longitudinal.ChainParams{P1: 0.8, Q1: 0.5, P2: 0.75, Q2: 0.25}
+	b, err := AccuracyBound(100, 10000, 0.05, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(100 / (4.0 * 10000 * 0.05 * (0.8 - 0.5) * (0.75 - 0.25)))
+	if math.Abs(b-want) > 1e-12 {
+		t.Errorf("bound %v, want %v", b, want)
+	}
+	// Shrinks with n, grows with k, shrinks as beta grows.
+	b2, _ := AccuracyBound(100, 40000, 0.05, params)
+	if b2 >= b {
+		t.Error("bound did not shrink with n")
+	}
+	b3, _ := AccuracyBound(400, 10000, 0.05, params)
+	if b3 <= b {
+		t.Error("bound did not grow with k")
+	}
+	b4, _ := AccuracyBound(100, 10000, 0.2, params)
+	if b4 >= b {
+		t.Error("bound did not shrink with beta")
+	}
+}
+
+func TestAccuracyBoundValidation(t *testing.T) {
+	params := longitudinal.ChainParams{P1: 0.8, Q1: 0.5, P2: 0.75, Q2: 0.25}
+	if _, err := AccuracyBound(10, 10, 0, params); err == nil {
+		t.Error("beta=0 accepted")
+	}
+	if _, err := AccuracyBound(10, 10, 1, params); err == nil {
+		t.Error("beta=1 accepted")
+	}
+	if _, err := AccuracyBound(0, 10, 0.1, params); err == nil {
+		t.Error("k=0 accepted")
+	}
+	bad := longitudinal.ChainParams{P1: 0.3, Q1: 0.5, P2: 0.75, Q2: 0.25}
+	if _, err := AccuracyBound(10, 10, 0.1, bad); err == nil {
+		t.Error("degenerate params accepted")
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	// Paper's Table 1 with k=360, g=4, b=90, d=4.
+	rows := Table1(360, 4, 90, 4)
+	want := map[string]struct {
+		comm   int
+		budget int
+	}{
+		"LOLOHA":     {2, 4},     // ceil(log2 4), g
+		"L-GRR":      {9, 360},   // ceil(log2 360), k
+		"RAPPOR":     {360, 360}, // k, k
+		"L-OSUE":     {360, 360}, // k, k
+		"dBitFlipPM": {4, 5},     // d, min(d+1,b)
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		w, ok := want[r.Protocol]
+		if !ok {
+			t.Errorf("unexpected protocol %q", r.Protocol)
+			continue
+		}
+		if r.CommBits != w.comm {
+			t.Errorf("%s comm bits = %d, want %d", r.Protocol, r.CommBits, w.comm)
+		}
+		if r.BudgetUnits != w.budget {
+			t.Errorf("%s budget = %d, want %d", r.Protocol, r.BudgetUnits, w.budget)
+		}
+	}
+}
+
+func TestTable1DBitBudgetCapsAtB(t *testing.T) {
+	rows := Table1(100, 2, 5, 5)
+	for _, r := range rows {
+		if r.Protocol == "dBitFlipPM" && r.BudgetUnits != 5 {
+			t.Errorf("d=b=5: budget = %d, want b=5", r.BudgetUnits)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package bitset implements a dense bit vector used for unary-encoding
+// reports (RAPPOR-family protocols) and for the server-side tallies that
+// aggregate millions of such reports.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Bitset is a fixed-length vector of bits backed by 64-bit words.
+type Bitset struct {
+	n     int
+	words []uint64
+}
+
+// New returns a zeroed bitset of n bits. It panics if n < 0.
+func New(n int) *Bitset {
+	if n < 0 {
+		panic("bitset: negative length")
+	}
+	return &Bitset{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// FromWords wraps the given words as a bitset of n bits. The slice is used
+// directly (not copied); callers hand over ownership. Bits beyond n must be
+// zero for Count and Equal to be meaningful.
+func FromWords(n int, words []uint64) (*Bitset, error) {
+	if len(words) != (n+63)/64 {
+		return nil, fmt.Errorf("bitset: %d words cannot back %d bits", len(words), n)
+	}
+	if n%64 != 0 && len(words) > 0 {
+		if tail := words[len(words)-1] >> (uint(n) % 64); tail != 0 {
+			return nil, fmt.Errorf("bitset: nonzero bits beyond length %d", n)
+		}
+	}
+	return &Bitset{n: n, words: words}, nil
+}
+
+// Len returns the number of bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Words exposes the backing words (little-endian bit order within a word).
+// Mutating them mutates the bitset.
+func (b *Bitset) Words() []uint64 { return b.words }
+
+// Get reports whether bit i is set. It panics if i is out of range.
+func (b *Bitset) Get(i int) bool {
+	b.check(i)
+	return b.words[i>>6]>>(uint(i)&63)&1 == 1
+}
+
+// Set sets bit i to v.
+func (b *Bitset) Set(i int, v bool) {
+	b.check(i)
+	mask := uint64(1) << (uint(i) & 63)
+	if v {
+		b.words[i>>6] |= mask
+	} else {
+		b.words[i>>6] &^= mask
+	}
+}
+
+// Flip inverts bit i.
+func (b *Bitset) Flip(i int) {
+	b.check(i)
+	b.words[i>>6] ^= uint64(1) << (uint(i) & 63)
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Equal reports whether b and o have identical length and bits.
+func (b *Bitset) Equal(o *Bitset) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i, w := range b.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (b *Bitset) Clone() *Bitset {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitset{n: b.n, words: w}
+}
+
+// Reset clears every bit.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// AccumulateInto adds each bit of b (as 0/1) into counts, which must have
+// length b.Len(). This is the server-side tally loop for unary encodings;
+// it skips zero words, which dominate sparse reports.
+func (b *Bitset) AccumulateInto(counts []int64) {
+	if len(counts) != b.n {
+		panic(fmt.Sprintf("bitset: counts length %d != bits %d", len(counts), b.n))
+	}
+	for wi, w := range b.words {
+		for w != 0 {
+			i := bits.TrailingZeros64(w)
+			counts[wi<<6+i]++
+			w &= w - 1
+		}
+	}
+}
+
+func (b *Bitset) check(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitset: index %d out of [0,%d)", i, b.n))
+	}
+}

@@ -1,0 +1,166 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGetSet(t *testing.T) {
+	b := New(130) // spans three words
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Fatalf("fresh bitset has bit %d set", i)
+		}
+		b.Set(i, true)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		b.Set(i, false)
+		if b.Get(i) {
+			t.Fatalf("bit %d still set after clear", i)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	b := New(200)
+	if b.Count() != 0 {
+		t.Fatal("fresh bitset count != 0")
+	}
+	idx := []int{0, 3, 63, 64, 100, 199}
+	for _, i := range idx {
+		b.Set(i, true)
+	}
+	if got := b.Count(); got != len(idx) {
+		t.Errorf("Count = %d, want %d", got, len(idx))
+	}
+	b.Set(0, true) // idempotent
+	if got := b.Count(); got != len(idx) {
+		t.Errorf("Count after double set = %d, want %d", got, len(idx))
+	}
+}
+
+func TestFlip(t *testing.T) {
+	b := New(10)
+	b.Flip(5)
+	if !b.Get(5) {
+		t.Error("flip 0->1 failed")
+	}
+	b.Flip(5)
+	if b.Get(5) {
+		t.Error("flip 1->0 failed")
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := New(70)
+	a.Set(69, true)
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Set(0, true)
+	if a.Equal(c) {
+		t.Fatal("mutating clone affected equality")
+	}
+	if a.Equal(New(71)) {
+		t.Fatal("different lengths compare equal")
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(100)
+	for i := 0; i < 100; i += 7 {
+		b.Set(i, true)
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Error("Reset left bits set")
+	}
+}
+
+func TestAccumulateInto(t *testing.T) {
+	b := New(130)
+	b.Set(0, true)
+	b.Set(64, true)
+	b.Set(129, true)
+	counts := make([]int64, 130)
+	b.AccumulateInto(counts)
+	b.AccumulateInto(counts)
+	for i, c := range counts {
+		want := int64(0)
+		if i == 0 || i == 64 || i == 129 {
+			want = 2
+		}
+		if c != want {
+			t.Errorf("counts[%d] = %d, want %d", i, c, want)
+		}
+	}
+}
+
+func TestAccumulatePanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched counts did not panic")
+		}
+	}()
+	New(10).AccumulateInto(make([]int64, 9))
+}
+
+func TestFromWords(t *testing.T) {
+	b, err := FromWords(65, []uint64{^uint64(0), 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Count() != 65 {
+		t.Errorf("Count = %d, want 65", b.Count())
+	}
+	if _, err := FromWords(65, []uint64{1}); err == nil {
+		t.Error("wrong word count accepted")
+	}
+	if _, err := FromWords(65, []uint64{0, 4}); err == nil {
+		t.Error("bits beyond length accepted")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	b := New(8)
+	for _, i := range []int{-1, 8, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d) did not panic", i)
+				}
+			}()
+			b.Get(i)
+		}()
+	}
+}
+
+func TestQuickSetGetConsistency(t *testing.T) {
+	f := func(nRaw uint8, positions []uint16) bool {
+		n := int(nRaw) + 1
+		b := New(n)
+		ref := make(map[int]bool)
+		for _, p := range positions {
+			i := int(p) % n
+			b.Flip(i)
+			ref[i] = !ref[i]
+		}
+		for i := 0; i < n; i++ {
+			if b.Get(i) != ref[i] {
+				return false
+			}
+		}
+		want := 0
+		for _, v := range ref {
+			if v {
+				want++
+			}
+		}
+		return b.Count() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math"
+
+	"github.com/loloha-ldp/loloha/internal/longitudinal"
+)
+
+// OptimalG returns the utility-optimal reduced domain size of Eq. (6):
+//
+//	g = 1 + max(1, ⌊(1 − a² + √(a⁴ − 14a² + 12ab(1−ab) + 12a³b + 1)) / (6(a−b))⌉)
+//
+// with a = e^{ε∞} and b = e^{ε1}. It minimizes the approximate variance V*
+// of Eq. (5) over g (validated against the numeric argmin in tests; the
+// two can differ by one step exactly at rounding boundaries, where V* is
+// flat). Values are clamped so that g ≥ 2 always holds.
+func OptimalG(epsInf, eps1 float64) int {
+	a := math.Exp(epsInf)
+	b := math.Exp(eps1)
+	disc := a*a*a*a - 14*a*a + 12*a*b*(1-a*b) + 12*a*a*a*b + 1
+	if disc < 0 {
+		// The discriminant is positive throughout the valid region
+		// 0 < ε1 < ε∞; guard against float corner cases anyway.
+		return 2
+	}
+	x := (1 - a*a + math.Sqrt(disc)) / (6 * (a - b))
+	g := 1 + int(math.Max(1, math.Round(x)))
+	if g < 2 {
+		g = 2
+	}
+	return g
+}
+
+// OptimalGNumeric returns the integer g in [2..gMax] that minimizes the
+// approximate variance V* of the LOLOHA estimator — the ground truth that
+// Eq. (6) approximates in closed form.
+func OptimalGNumeric(epsInf, eps1 float64, gMax int) int {
+	best, bestV := 2, math.Inf(1)
+	for g := 2; g <= gMax; g++ {
+		v := approxVarianceAtG(epsInf, eps1, g)
+		if v < bestV {
+			bestV, best = v, g
+		}
+	}
+	return best
+}
+
+// approxVarianceAtG evaluates the (n-independent) V* of a LOLOHA protocol
+// with reduced domain g. n scales all variances identically, so it is
+// fixed at 1 for comparisons.
+func approxVarianceAtG(epsInf, eps1 float64, g int) float64 {
+	epsIRR, err := longitudinal.EpsIRR(epsInf, eps1)
+	if err != nil {
+		return math.Inf(1)
+	}
+	gf := float64(g)
+	a := math.Exp(epsInf)
+	c := math.Exp(epsIRR)
+	params := longitudinal.ChainParams{
+		P1: a / (a + gf - 1),
+		Q1: 1 / gf,
+		P2: c / (c + gf - 1),
+		Q2: 1 / (c + gf - 1),
+	}
+	return params.ApproxVariance(1)
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOptimalGMatchesNumeric(t *testing.T) {
+	// The Eq. (6) closed form must track the integer argmin of V*. At
+	// rounding boundaries V* is nearly flat, so allow a one-step gap but
+	// require the variance penalty of the closed-form choice to be tiny.
+	for _, alpha := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6} {
+		for _, epsInf := range []float64{0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5} {
+			eps1 := alpha * epsInf
+			closed := OptimalG(epsInf, eps1)
+			numeric := OptimalGNumeric(epsInf, eps1, 600)
+			if diff := closed - numeric; diff < -1 || diff > 1 {
+				t.Errorf("eps∞=%v α=%v: closed g=%d vs numeric g=%d",
+					epsInf, alpha, closed, numeric)
+				continue
+			}
+			vClosed := approxVarianceAtG(epsInf, eps1, closed)
+			vNumeric := approxVarianceAtG(epsInf, eps1, numeric)
+			// Boundary cases (x ≈ half-integer) round to a neighbour that
+			// costs a few percent; anything above 5% is a real bug.
+			if vClosed > vNumeric*1.05 {
+				t.Errorf("eps∞=%v α=%v: closed-form g=%d pays %.2f%% extra variance",
+					epsInf, alpha, closed, 100*(vClosed/vNumeric-1))
+			}
+		}
+	}
+}
+
+func TestOptimalGFig1Shape(t *testing.T) {
+	// Fig. 1: in high privacy regimes the optimum is binary; it grows with
+	// both ε∞ and α.
+	if g := OptimalG(0.5, 0.05); g != 2 {
+		t.Errorf("high-privacy optimal g = %d, want 2", g)
+	}
+	if g := OptimalG(1.0, 0.1); g != 2 {
+		t.Errorf("eps∞=1 α=0.1: g = %d, want 2", g)
+	}
+	// Low privacy, α = 0.6: large g (Fig. 1 tops out around 16-17).
+	g := OptimalG(5, 3)
+	if g < 14 || g > 18 {
+		t.Errorf("eps∞=5 α=0.6: g = %d, want ~16", g)
+	}
+}
+
+func TestOptimalGMonotoneInEpsInf(t *testing.T) {
+	for _, alpha := range []float64{0.3, 0.5, 0.6} {
+		prev := 0
+		for _, epsInf := range []float64{0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5} {
+			g := OptimalG(epsInf, alpha*epsInf)
+			if g < prev {
+				t.Errorf("α=%v: OptimalG decreased at eps∞=%v: %d < %d",
+					alpha, epsInf, g, prev)
+			}
+			prev = g
+		}
+	}
+}
+
+func TestOptimalGAlwaysAtLeastTwo(t *testing.T) {
+	for epsInf := 0.05; epsInf < 8; epsInf += 0.173 {
+		for _, alpha := range []float64{0.01, 0.3, 0.9} {
+			if g := OptimalG(epsInf, alpha*epsInf); g < 2 {
+				t.Fatalf("OptimalG(%v,%v) = %d < 2", epsInf, alpha*epsInf, g)
+			}
+		}
+	}
+}
+
+func TestApproxVarianceAtGMatchesProtocol(t *testing.T) {
+	// The standalone evaluator must agree with a constructed protocol's
+	// ApproxVariance (up to the 1/n factor).
+	const n = 5000
+	for _, g := range []int{2, 3, 8} {
+		p, err := New(100, g, 3, 1.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := p.ApproxVariance(n)
+		got := approxVarianceAtG(3, 1.2, g) / n
+		if math.Abs(got-want) > 1e-15*math.Abs(want)+1e-20 {
+			t.Errorf("g=%d: standalone %v vs protocol %v", g, got, want)
+		}
+	}
+}
+
+func TestVarianceUShapeInG(t *testing.T) {
+	// For a low-privacy pair the variance should strictly improve from
+	// g=2 to the optimum and strictly degrade well past it — i.e. the
+	// optimum is interior, not a boundary artifact.
+	const epsInf, eps1 = 5.0, 3.0
+	opt := OptimalGNumeric(epsInf, eps1, 600)
+	if opt <= 2 {
+		t.Fatalf("expected interior optimum, got g=%d", opt)
+	}
+	vOpt := approxVarianceAtG(epsInf, eps1, opt)
+	if v2 := approxVarianceAtG(epsInf, eps1, 2); v2 <= vOpt {
+		t.Errorf("g=2 variance %v not above optimum %v", v2, vOpt)
+	}
+	if vBig := approxVarianceAtG(epsInf, eps1, 20*opt); vBig <= vOpt {
+		t.Errorf("g=%d variance %v not above optimum %v", 20*opt, vBig, vOpt)
+	}
+}

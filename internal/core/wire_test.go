@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/loloha-ldp/loloha/internal/randsrc"
+)
+
+func TestLolohaReportWireRoundTrip(t *testing.T) {
+	p, err := New(200, 16, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := p.newClient(9)
+	for i := 0; i < 40; i++ {
+		rep := cl.ReportValue(i % 200)
+		buf := rep.AppendBinary(nil)
+		if len(buf) != 1 {
+			t.Fatalf("g=16 payload %d bytes, want 1", len(buf))
+		}
+		got, rest, err := DecodeReport(buf, 16, rep.HashSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rest) != 0 || got.X != rep.X || got.HashSeed != rep.HashSeed {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, rep)
+		}
+	}
+}
+
+func TestLolohaWireAggregationEquivalence(t *testing.T) {
+	const k, n = 64, 3000
+	p, err := NewBinary(k, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := p.NewServer()
+	viaWire := p.NewServer()
+	r := randsrc.NewSeeded(5)
+	for u := 0; u < n; u++ {
+		cl := p.newClient(uint64(u))
+		rep := cl.ReportValue(r.Intn(k))
+		direct.AddReport(u, rep)
+		decoded, _, err := DecodeReport(rep.AppendBinary(nil), p.G(), rep.HashSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaWire.AddReport(u, decoded)
+	}
+	a, b := direct.EndRound(), viaWire.EndRound()
+	for v := range a {
+		if math.Abs(a[v]-b[v]) > 1e-15 {
+			t.Fatalf("estimates diverge at v=%d", v)
+		}
+	}
+}
+
+func TestDecodeReportErrors(t *testing.T) {
+	if _, _, err := DecodeReport(nil, 4, 1); err == nil {
+		t.Error("empty buffer accepted")
+	}
+	if _, _, err := DecodeReport([]byte{9}, 4, 1); err == nil {
+		t.Error("out-of-domain cell accepted")
+	}
+}

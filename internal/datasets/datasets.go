@@ -1,0 +1,364 @@
+// Package datasets generates the four evaluation workloads of §5.1.
+//
+// Syn follows the paper exactly. Adult, DB_MT and DB_DE are synthetic
+// surrogates for the UCI Adult and folktables data that this offline module
+// cannot download; DESIGN.md documents what each surrogate preserves
+// (domain size, cohort size, number of collections, marginal shape and the
+// per-user temporal change structure that drives the longitudinal privacy
+// results).
+//
+// A Dataset is a matrix of values: Value(u, t) is user u's private value at
+// collection round t, an index in [0..K()).
+package datasets
+
+import (
+	"fmt"
+
+	"github.com/loloha-ldp/loloha/internal/domain"
+	"github.com/loloha-ldp/loloha/internal/randsrc"
+)
+
+// Dataset is an evolving-data workload: n users, each holding one value of
+// a k-sized domain at each of tau collection rounds.
+type Dataset struct {
+	Name string
+	K    int
+	// values[t][u] is user u's value at round t.
+	values [][]int
+}
+
+// N returns the number of users.
+func (d *Dataset) N() int {
+	if len(d.values) == 0 {
+		return 0
+	}
+	return len(d.values[0])
+}
+
+// Tau returns the number of collection rounds.
+func (d *Dataset) Tau() int { return len(d.values) }
+
+// Value returns user u's value at round t.
+func (d *Dataset) Value(u, t int) int { return d.values[t][u] }
+
+// Round returns the value slice of round t (not a copy; callers must not
+// mutate it).
+func (d *Dataset) Round(t int) []int { return d.values[t] }
+
+// TrueFrequencies returns the k-bin histogram of round t.
+func (d *Dataset) TrueFrequencies(t int) []float64 {
+	return domain.TrueFrequencies(d.values[t], d.K)
+}
+
+// DistinctPerUser returns, for each user, the number of distinct values in
+// their sequence — the quantity that drives the ε̌ of RAPPOR-class
+// protocols (Fig. 4).
+func (d *Dataset) DistinctPerUser() []int {
+	n := d.N()
+	out := make([]int, n)
+	seen := make(map[int]struct{})
+	for u := 0; u < n; u++ {
+		for k := range seen {
+			delete(seen, k)
+		}
+		for t := 0; t < d.Tau(); t++ {
+			seen[d.values[t][u]] = struct{}{}
+		}
+		out[u] = len(seen)
+	}
+	return out
+}
+
+// ChangeRate returns the empirical per-round probability that a user's
+// value differs from their previous one, averaged over users and rounds.
+func (d *Dataset) ChangeRate() float64 {
+	n, tau := d.N(), d.Tau()
+	if tau < 2 {
+		return 0
+	}
+	changes := 0
+	for t := 1; t < tau; t++ {
+		for u := 0; u < n; u++ {
+			if d.values[t][u] != d.values[t-1][u] {
+				changes++
+			}
+		}
+	}
+	return float64(changes) / float64(n*(tau-1))
+}
+
+// ---------------------------------------------------------------------------
+// Syn (paper §5.1): k = 360, n = 10000, τ = 120. Uniform start; each round
+// each user redraws uniformly with probability pch = 0.25.
+
+// SynConfig parameterizes the synthetic workload; zero fields take the
+// paper's values.
+type SynConfig struct {
+	K, N, Tau  int
+	ChangeProb float64
+	Seed       uint64
+}
+
+func (c *SynConfig) fill() {
+	if c.K == 0 {
+		c.K = 360
+	}
+	if c.N == 0 {
+		c.N = 10000
+	}
+	if c.Tau == 0 {
+		c.Tau = 120
+	}
+	if c.ChangeProb == 0 {
+		c.ChangeProb = 0.25
+	}
+}
+
+// Syn generates the synthetic telemetry workload.
+func Syn(cfg SynConfig) *Dataset {
+	cfg.fill()
+	r := randsrc.NewSeeded(randsrc.Derive(cfg.Seed, 0x517))
+	values := make([][]int, cfg.Tau)
+	first := make([]int, cfg.N)
+	for u := range first {
+		first[u] = r.Intn(cfg.K)
+	}
+	values[0] = first
+	for t := 1; t < cfg.Tau; t++ {
+		row := make([]int, cfg.N)
+		prev := values[t-1]
+		for u := range row {
+			if r.Bernoulli(cfg.ChangeProb) {
+				row[u] = r.Intn(cfg.K)
+			} else {
+				row[u] = prev[u]
+			}
+		}
+		values[t] = row
+	}
+	return &Dataset{Name: "syn", K: cfg.K, values: values}
+}
+
+// ---------------------------------------------------------------------------
+// Adult surrogate (paper §5.1): "hours-per-week", k = 96, n = 45222,
+// τ = 260; the same multiset of values is randomly re-assigned to users
+// every round, so the global histogram is static while individual
+// sequences churn.
+
+// AdultConfig parameterizes the Adult surrogate.
+type AdultConfig struct {
+	N, Tau int
+	Seed   uint64
+}
+
+func (c *AdultConfig) fill() {
+	if c.N == 0 {
+		c.N = 45222
+	}
+	if c.Tau == 0 {
+		c.Tau = 260
+	}
+}
+
+// adultHoursWeights approximates the UCI Adult "hours-per-week" marginal:
+// a dominant spike at 40 hours, secondary spikes at common full/part-time
+// loads, and a thin spread elsewhere. Index i is "i+1 hours" (domain 1..96
+// mapped to [0..96)).
+func adultHoursWeights() []float64 {
+	w := make([]float64, 96)
+	for i := range w {
+		w[i] = 0.05 // thin background
+	}
+	spikes := map[int]float64{
+		40: 46.6, 50: 8.6, 45: 5.4, 60: 4.4, 35: 3.9, 20: 3.1,
+		30: 2.4, 55: 1.5, 25: 1.4, 48: 1.2, 38: 1.1, 15: 0.8,
+		70: 0.6, 65: 0.5, 10: 0.6, 80: 0.4, 44: 0.4, 36: 0.4,
+		42: 0.4, 32: 0.4, 24: 0.3, 16: 0.3, 8: 0.3, 12: 0.3,
+	}
+	for hours, pct := range spikes {
+		w[hours-1] = pct
+	}
+	return w
+}
+
+// Adult generates the Adult surrogate workload.
+func Adult(cfg AdultConfig) *Dataset {
+	cfg.fill()
+	r := randsrc.NewSeeded(randsrc.Derive(cfg.Seed, 0xAD17))
+	base := drawCategorical(adultHoursWeights(), cfg.N, r)
+	values := make([][]int, cfg.Tau)
+	values[0] = base
+	for t := 1; t < cfg.Tau; t++ {
+		row := make([]int, cfg.N)
+		copy(row, values[t-1])
+		r.Shuffle(row) // re-permute holders; global histogram unchanged
+		values[t] = row
+	}
+	return &Dataset{Name: "adult", K: 96, values: values}
+}
+
+// ---------------------------------------------------------------------------
+// folktables surrogates (paper §5.1): per-person replicate weights
+// PWGTP1..80 — τ = 80 counter collections with temporally correlated,
+// frequently but mildly changing values over a large heavy-tailed domain.
+// DB_MT: k = 1412, n = 10336. DB_DE: k = 1234, n = 9123.
+
+// FolkConfig parameterizes a folktables surrogate.
+type FolkConfig struct {
+	Name   string
+	K      int
+	N, Tau int
+	Seed   uint64
+	// JitterProb is the per-round probability that a user's counter moves.
+	JitterProb float64
+	// JitterSpan is the maximum absolute move (in domain steps).
+	JitterSpan int
+}
+
+func (c *FolkConfig) fill() error {
+	if c.Name == "" {
+		return fmt.Errorf("datasets: folk surrogate needs a name")
+	}
+	if c.K < 2 || c.N < 1 {
+		return fmt.Errorf("datasets: folk surrogate needs k >= 2 and n >= 1, got k=%d n=%d", c.K, c.N)
+	}
+	if c.Tau == 0 {
+		c.Tau = 80
+	}
+	if c.JitterProb == 0 {
+		c.JitterProb = 0.85
+	}
+	if c.JitterSpan == 0 {
+		c.JitterSpan = 12
+	}
+	return nil
+}
+
+// Folk generates a folktables-style replicate-weight workload: each user
+// starts at a heavy-tailed base position in [0..k) and performs a bounded
+// random walk. Every domain index is touched at least once so the
+// dictionary size is exactly k, matching the paper's "total number of
+// unique values" accounting.
+func Folk(cfg FolkConfig) (*Dataset, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	r := randsrc.NewSeeded(randsrc.Derive(cfg.Seed, 0xF01C))
+	base := make([]int, cfg.N)
+	for u := range base {
+		base[u] = heavyTailedIndex(cfg.K, r)
+	}
+	// Guarantee full dictionary coverage: assign a random permutation of
+	// the whole domain to the first k users at t = 0. With n ≥ k (true for
+	// both datasets) every value occurs, so the dictionary size is exactly
+	// k as the paper counts it.
+	perm := make([]int, cfg.K)
+	r.Perm(perm)
+	for i := 0; i < cfg.K && i < cfg.N; i++ {
+		base[i] = perm[i]
+	}
+
+	values := make([][]int, cfg.Tau)
+	values[0] = base
+	for t := 1; t < cfg.Tau; t++ {
+		row := make([]int, cfg.N)
+		prev := values[t-1]
+		for u := range row {
+			v := prev[u]
+			if r.Bernoulli(cfg.JitterProb) {
+				step := r.Intn(2*cfg.JitterSpan+1) - cfg.JitterSpan
+				v += step
+				if v < 0 {
+					v = 0
+				}
+				if v >= cfg.K {
+					v = cfg.K - 1
+				}
+			}
+			row[u] = v
+		}
+		values[t] = row
+	}
+	return &Dataset{Name: cfg.Name, K: cfg.K, values: values}, nil
+}
+
+// FolkMT generates the DB_MT (Montana) surrogate: k=1412, n=10336, τ=80.
+func FolkMT(seed uint64) *Dataset {
+	d, err := Folk(FolkConfig{Name: "db_mt", K: 1412, N: 10336, Seed: seed})
+	if err != nil {
+		panic(err) // constants are valid by construction
+	}
+	return d
+}
+
+// FolkDE generates the DB_DE (Delaware) surrogate: k=1234, n=9123, τ=80.
+func FolkDE(seed uint64) *Dataset {
+	d, err := Folk(FolkConfig{Name: "db_de", K: 1234, N: 9123, Seed: seed})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------------
+// Registry used by the CLI and the simulation harness.
+
+// ByName builds one of the four paper datasets by its §5.1 name.
+func ByName(name string, seed uint64) (*Dataset, error) {
+	switch name {
+	case "syn":
+		return Syn(SynConfig{Seed: seed}), nil
+	case "adult":
+		return Adult(AdultConfig{Seed: seed}), nil
+	case "db_mt":
+		return FolkMT(seed), nil
+	case "db_de":
+		return FolkDE(seed), nil
+	default:
+		return nil, fmt.Errorf("datasets: unknown dataset %q (want syn, adult, db_mt or db_de)", name)
+	}
+}
+
+// Names lists the four paper datasets in presentation order.
+func Names() []string { return []string{"syn", "adult", "db_mt", "db_de"} }
+
+// ---------------------------------------------------------------------------
+// helpers
+
+// drawCategorical draws n samples from the (unnormalized) weight vector.
+func drawCategorical(weights []float64, n int, r *randsrc.Rand) []int {
+	cdf := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		total += w
+		cdf[i] = total
+	}
+	out := make([]int, n)
+	for i := range out {
+		u := r.Float64() * total
+		// Binary search for the first cdf entry >= u.
+		lo, hi := 0, len(cdf)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out[i] = lo
+	}
+	return out
+}
+
+// heavyTailedIndex draws an index in [0..k) whose density decays like a
+// power law over the domain (replicate weights are heavy-tailed counters).
+func heavyTailedIndex(k int, r *randsrc.Rand) int {
+	// v = k·u³: P(v < z) = (z/k)^{1/3}, so small counters dominate.
+	u := r.Float64()
+	v := int(float64(k) * u * u * u)
+	if v >= k {
+		v = k - 1
+	}
+	return v
+}

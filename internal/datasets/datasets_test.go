@@ -1,0 +1,224 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSynPaperShape(t *testing.T) {
+	d := Syn(SynConfig{Seed: 1})
+	if d.K != 360 || d.N() != 10000 || d.Tau() != 120 {
+		t.Fatalf("Syn shape k=%d n=%d tau=%d", d.K, d.N(), d.Tau())
+	}
+	// Change probability: redraw with p=0.25 but a redraw can land on the
+	// same value, so the observed rate is pch·(1−1/k) ≈ 0.2493.
+	want := 0.25 * (1 - 1.0/360)
+	if got := d.ChangeRate(); math.Abs(got-want) > 0.005 {
+		t.Errorf("change rate %v, want ~%v", got, want)
+	}
+}
+
+func TestSynFirstRoundUniform(t *testing.T) {
+	d := Syn(SynConfig{Seed: 2, N: 36000, Tau: 2})
+	freq := d.TrueFrequencies(0)
+	want := 1.0 / 360
+	for v, f := range freq {
+		if math.Abs(f-want) > 6*math.Sqrt(want/36000)+1e-4 {
+			t.Errorf("syn t=0 freq[%d] = %v, want ~%v", v, f, want)
+		}
+	}
+}
+
+func TestSynValuesInRange(t *testing.T) {
+	d := Syn(SynConfig{Seed: 3, N: 200, Tau: 30, K: 17})
+	for tt := 0; tt < d.Tau(); tt++ {
+		for u := 0; u < d.N(); u++ {
+			if v := d.Value(u, tt); v < 0 || v >= 17 {
+				t.Fatalf("value %d out of range", v)
+			}
+		}
+	}
+}
+
+func TestSynDeterministicBySeed(t *testing.T) {
+	a := Syn(SynConfig{Seed: 7, N: 100, Tau: 10})
+	b := Syn(SynConfig{Seed: 7, N: 100, Tau: 10})
+	c := Syn(SynConfig{Seed: 8, N: 100, Tau: 10})
+	sameAB, sameAC := true, true
+	for tt := 0; tt < 10; tt++ {
+		for u := 0; u < 100; u++ {
+			if a.Value(u, tt) != b.Value(u, tt) {
+				sameAB = false
+			}
+			if a.Value(u, tt) != c.Value(u, tt) {
+				sameAC = false
+			}
+		}
+	}
+	if !sameAB {
+		t.Error("same seed produced different datasets")
+	}
+	if sameAC {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestAdultPaperShape(t *testing.T) {
+	d := Adult(AdultConfig{Seed: 1})
+	if d.K != 96 || d.N() != 45222 || d.Tau() != 260 {
+		t.Fatalf("Adult shape k=%d n=%d tau=%d", d.K, d.N(), d.Tau())
+	}
+}
+
+func TestAdultStaticMarginal(t *testing.T) {
+	// The paper permutes the same multiset every round: the histogram must
+	// be *identical* across rounds.
+	d := Adult(AdultConfig{Seed: 2, N: 5000, Tau: 5})
+	f0 := d.TrueFrequencies(0)
+	for tt := 1; tt < d.Tau(); tt++ {
+		ft := d.TrueFrequencies(tt)
+		for v := range f0 {
+			if math.Abs(f0[v]-ft[v]) > 1e-12 {
+				t.Fatalf("round %d histogram differs at v=%d", tt, v)
+			}
+		}
+	}
+}
+
+func TestAdultSkewPeaksAtFortyHours(t *testing.T) {
+	d := Adult(AdultConfig{Seed: 3, N: 20000, Tau: 1})
+	f := d.TrueFrequencies(0)
+	// Index 39 is "40 hours"; it must dominate and carry roughly 40-50%.
+	for v := range f {
+		if v != 39 && f[v] >= f[39] {
+			t.Fatalf("freq[%d]=%v >= freq[40h]=%v", v, f[v], f[39])
+		}
+	}
+	if f[39] < 0.35 || f[39] > 0.55 {
+		t.Errorf("40-hour share %v, want ~0.45", f[39])
+	}
+}
+
+func TestAdultSequencesChurn(t *testing.T) {
+	// Random permutation each round: users change value almost every round
+	// (only collisions with identical values keep them fixed), which is
+	// what makes k-linear protocols leak heavily on Adult.
+	d := Adult(AdultConfig{Seed: 4, N: 3000, Tau: 10})
+	if rate := d.ChangeRate(); rate < 0.5 {
+		t.Errorf("adult change rate %v, want > 0.5", rate)
+	}
+}
+
+func TestFolkShapes(t *testing.T) {
+	mt := FolkMT(1)
+	if mt.K != 1412 || mt.N() != 10336 || mt.Tau() != 80 {
+		t.Fatalf("DB_MT shape k=%d n=%d tau=%d", mt.K, mt.N(), mt.Tau())
+	}
+	de := FolkDE(1)
+	if de.K != 1234 || de.N() != 9123 || de.Tau() != 80 {
+		t.Fatalf("DB_DE shape k=%d n=%d tau=%d", de.K, de.N(), de.Tau())
+	}
+}
+
+func TestFolkFullDictionaryAtRoundZero(t *testing.T) {
+	d := FolkDE(5)
+	seen := make([]bool, d.K)
+	for u := 0; u < d.N(); u++ {
+		seen[d.Value(u, 0)] = true
+	}
+	missing := 0
+	for _, ok := range seen {
+		if !ok {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Errorf("%d of %d dictionary values unused at t=0", missing, d.K)
+	}
+}
+
+func TestFolkTemporalCorrelation(t *testing.T) {
+	// Replicate-weight counters move often but locally: high change rate,
+	// small average move.
+	d, err := Folk(FolkConfig{Name: "x", K: 500, N: 2000, Tau: 20, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := d.ChangeRate(); rate < 0.6 {
+		t.Errorf("folk change rate %v, want > 0.6 (frequent small changes)", rate)
+	}
+	totalMove, moves := 0.0, 0
+	for tt := 1; tt < d.Tau(); tt++ {
+		for u := 0; u < d.N(); u++ {
+			delta := d.Value(u, tt) - d.Value(u, tt-1)
+			if delta != 0 {
+				if delta < 0 {
+					delta = -delta
+				}
+				totalMove += float64(delta)
+				moves++
+			}
+		}
+	}
+	if avg := totalMove / float64(moves); avg > 15 {
+		t.Errorf("average move %v domain steps, want small (bounded jitter)", avg)
+	}
+}
+
+func TestFolkValidation(t *testing.T) {
+	if _, err := Folk(FolkConfig{K: 10, N: 10}); err == nil {
+		t.Error("missing name accepted")
+	}
+	if _, err := Folk(FolkConfig{Name: "x", K: 1, N: 10}); err == nil {
+		t.Error("k=1 accepted")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		// Use small custom configs where possible? ByName builds paper
+		// sizes; just check the two cheap ones and the error path.
+		if name != "syn" {
+			continue
+		}
+		d, err := ByName(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Name != name {
+			t.Errorf("dataset name %q, want %q", d.Name, name)
+		}
+	}
+	if _, err := ByName("nope", 1); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if len(Names()) != 4 {
+		t.Errorf("Names() = %v, want 4 datasets", Names())
+	}
+}
+
+func TestDistinctPerUser(t *testing.T) {
+	d := &Dataset{Name: "tiny", K: 5, values: [][]int{
+		{0, 1, 2},
+		{0, 2, 2},
+		{1, 3, 2},
+	}}
+	got := d.DistinctPerUser()
+	want := []int{2, 3, 1}
+	for u := range want {
+		if got[u] != want[u] {
+			t.Errorf("user %d distinct = %d, want %d", u, got[u], want[u])
+		}
+	}
+}
+
+func TestChangeRateHandComputed(t *testing.T) {
+	d := &Dataset{Name: "tiny", K: 5, values: [][]int{
+		{0, 1},
+		{0, 2}, // 1 change of 2
+		{1, 2}, // 1 change of 2
+	}}
+	if got := d.ChangeRate(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("change rate %v, want 0.5", got)
+	}
+}

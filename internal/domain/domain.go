@@ -1,0 +1,151 @@
+// Package domain provides codecs between application-level values and the
+// dense integer indices [0..k) that every LDP protocol in this repository
+// operates on, plus the equal-width bucketizer that dBitFlipPM uses to
+// generalize a large ordinal domain into b buckets.
+package domain
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Codec maps application values of type string onto indices [0..k) and back.
+// The mapping is fixed at construction: LDP frequency oracles require the
+// server and every client to agree on the domain up front.
+type Codec struct {
+	values []string
+	index  map[string]int
+}
+
+// NewCodec builds a codec over the given distinct values. The index of a
+// value is its position in the slice. It returns an error if values is empty
+// or contains duplicates.
+func NewCodec(values []string) (*Codec, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("domain: empty value set")
+	}
+	idx := make(map[string]int, len(values))
+	for i, v := range values {
+		if _, dup := idx[v]; dup {
+			return nil, fmt.Errorf("domain: duplicate value %q", v)
+		}
+		idx[v] = i
+	}
+	return &Codec{values: append([]string(nil), values...), index: idx}, nil
+}
+
+// Size returns k, the number of values in the domain.
+func (c *Codec) Size() int { return len(c.values) }
+
+// Index returns the dense index of v, or an error if v is outside the domain.
+func (c *Codec) Index(v string) (int, error) {
+	i, ok := c.index[v]
+	if !ok {
+		return 0, fmt.Errorf("domain: value %q not in domain", v)
+	}
+	return i, nil
+}
+
+// Value returns the value at index i. It panics if i is out of range, as
+// indices only originate from this codec.
+func (c *Codec) Value(i int) string { return c.values[i] }
+
+// Values returns a copy of the domain in index order.
+func (c *Codec) Values() []string { return append([]string(nil), c.values...) }
+
+// ---------------------------------------------------------------------------
+// Bucketizer (dBitFlipPM substrate)
+
+// Bucketizer partitions the ordinal domain [0..k) into b buckets of equal
+// width, "such that close values will fall into the same bucket"
+// (paper §2.4.4). Bucket(v) = floor(v·b/k), which yields widths that differ
+// by at most one when b does not divide k.
+type Bucketizer struct {
+	k, b int
+}
+
+// NewBucketizer returns a bucketizer from [0..k) onto [0..b). It returns an
+// error unless 2 <= b <= k.
+func NewBucketizer(k, b int) (Bucketizer, error) {
+	if k < 2 {
+		return Bucketizer{}, fmt.Errorf("domain: bucketizer needs k >= 2, got %d", k)
+	}
+	if b < 2 || b > k {
+		return Bucketizer{}, fmt.Errorf("domain: bucketizer needs 2 <= b <= k, got b=%d k=%d", b, k)
+	}
+	return Bucketizer{k: k, b: b}, nil
+}
+
+// K returns the size of the original domain.
+func (z Bucketizer) K() int { return z.k }
+
+// B returns the number of buckets.
+func (z Bucketizer) B() int { return z.b }
+
+// Bucket maps a value in [0..k) to its bucket in [0..b). It panics on
+// out-of-range input.
+func (z Bucketizer) Bucket(v int) int {
+	if v < 0 || v >= z.k {
+		panic(fmt.Sprintf("domain: value %d outside [0,%d)", v, z.k))
+	}
+	return v * z.b / z.k
+}
+
+// BucketWidth returns the number of original values that map to bucket j.
+func (z Bucketizer) BucketWidth(j int) int {
+	if j < 0 || j >= z.b {
+		panic(fmt.Sprintf("domain: bucket %d outside [0,%d)", j, z.b))
+	}
+	lo := ceilDiv(j*z.k, z.b)
+	hi := ceilDiv((j+1)*z.k, z.b)
+	return hi - lo
+}
+
+// FoldFrequencies folds a k-bin histogram into the b-bin bucket histogram:
+// the ground truth against which dBitFlipPM estimates are scored.
+func (z Bucketizer) FoldFrequencies(freq []float64) []float64 {
+	if len(freq) != z.k {
+		panic(fmt.Sprintf("domain: histogram has %d bins, want %d", len(freq), z.k))
+	}
+	out := make([]float64, z.b)
+	for v, f := range freq {
+		out[z.Bucket(v)] += f
+	}
+	return out
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// ---------------------------------------------------------------------------
+// Histogram helpers shared by estimators and metrics.
+
+// TrueFrequencies computes the k-bin normalized histogram of values, each in
+// [0..k). It panics on out-of-range values.
+func TrueFrequencies(values []int, k int) []float64 {
+	freq := make([]float64, k)
+	if len(values) == 0 {
+		return freq
+	}
+	w := 1.0 / float64(len(values))
+	for _, v := range values {
+		if v < 0 || v >= k {
+			panic(fmt.Sprintf("domain: value %d outside [0,%d)", v, k))
+		}
+		freq[v] += w
+	}
+	return freq
+}
+
+// TopIndices returns the indices of the m largest entries of freq in
+// descending order (ties broken by lower index first).
+func TopIndices(freq []float64, m int) []int {
+	idx := make([]int, len(freq))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return freq[idx[a]] > freq[idx[b]] })
+	if m > len(idx) {
+		m = len(idx)
+	}
+	return idx[:m]
+}

@@ -1,0 +1,208 @@
+package domain
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	c, err := NewCodec([]string{"news.com", "mail.com", "search.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", c.Size())
+	}
+	for i, v := range []string{"news.com", "mail.com", "search.com"} {
+		got, err := c.Index(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != i {
+			t.Errorf("Index(%q) = %d, want %d", v, got, i)
+		}
+		if c.Value(i) != v {
+			t.Errorf("Value(%d) = %q, want %q", i, c.Value(i), v)
+		}
+	}
+}
+
+func TestCodecRejectsBadInput(t *testing.T) {
+	if _, err := NewCodec(nil); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if _, err := NewCodec([]string{"a", "b", "a"}); err == nil {
+		t.Error("duplicate values accepted")
+	}
+	c, _ := NewCodec([]string{"a"})
+	if _, err := c.Index("z"); err == nil {
+		t.Error("unknown value accepted")
+	}
+}
+
+func TestCodecValuesIsCopy(t *testing.T) {
+	c, _ := NewCodec([]string{"a", "b"})
+	vs := c.Values()
+	vs[0] = "mutated"
+	if c.Value(0) != "a" {
+		t.Error("Values() exposed internal slice")
+	}
+}
+
+func TestBucketizerEqualWidth(t *testing.T) {
+	z, err := NewBucketizer(360, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k divisible by b: all widths equal, buckets contiguous and monotone.
+	for j := 0; j < 90; j++ {
+		if w := z.BucketWidth(j); w != 4 {
+			t.Fatalf("BucketWidth(%d) = %d, want 4", j, w)
+		}
+	}
+	prev := 0
+	for v := 0; v < 360; v++ {
+		b := z.Bucket(v)
+		if b < prev {
+			t.Fatalf("Bucket not monotone at v=%d", v)
+		}
+		prev = b
+	}
+	if z.Bucket(0) != 0 || z.Bucket(359) != 89 {
+		t.Error("bucket range endpoints wrong")
+	}
+}
+
+func TestBucketizerUnevenWidths(t *testing.T) {
+	z, err := NewBucketizer(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for j := 0; j < 3; j++ {
+		w := z.BucketWidth(j)
+		if w < 3 || w > 4 {
+			t.Errorf("BucketWidth(%d) = %d, want 3 or 4", j, w)
+		}
+		total += w
+	}
+	if total != 10 {
+		t.Errorf("widths sum to %d, want 10", total)
+	}
+	// Width computed from the formula must match empirical counts.
+	counts := make([]int, 3)
+	for v := 0; v < 10; v++ {
+		counts[z.Bucket(v)]++
+	}
+	for j := 0; j < 3; j++ {
+		if counts[j] != z.BucketWidth(j) {
+			t.Errorf("bucket %d: counted %d values, BucketWidth says %d", j, counts[j], z.BucketWidth(j))
+		}
+	}
+}
+
+func TestBucketizerPropertyWidthsConsistent(t *testing.T) {
+	f := func(kRaw, bRaw uint16) bool {
+		k := int(kRaw%500) + 2
+		b := int(bRaw)%(k-1) + 2
+		if b > k {
+			return true
+		}
+		z, err := NewBucketizer(k, b)
+		if err != nil {
+			return false
+		}
+		counts := make([]int, b)
+		for v := 0; v < k; v++ {
+			counts[z.Bucket(v)]++
+		}
+		for j := 0; j < b; j++ {
+			if counts[j] != z.BucketWidth(j) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketizerRejectsBadShape(t *testing.T) {
+	cases := []struct{ k, b int }{{1, 2}, {10, 1}, {10, 11}, {10, 0}, {10, -3}}
+	for _, c := range cases {
+		if _, err := NewBucketizer(c.k, c.b); err == nil {
+			t.Errorf("NewBucketizer(%d,%d) accepted", c.k, c.b)
+		}
+	}
+}
+
+func TestFoldFrequencies(t *testing.T) {
+	z, _ := NewBucketizer(6, 3)
+	freq := []float64{0.1, 0.2, 0.3, 0.1, 0.2, 0.1}
+	folded := z.FoldFrequencies(freq)
+	want := []float64{0.3, 0.4, 0.3}
+	for j := range want {
+		if math.Abs(folded[j]-want[j]) > 1e-12 {
+			t.Errorf("folded[%d] = %v, want %v", j, folded[j], want[j])
+		}
+	}
+	sum := 0.0
+	for _, f := range folded {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("folded histogram sums to %v", sum)
+	}
+}
+
+func TestTrueFrequencies(t *testing.T) {
+	freq := TrueFrequencies([]int{0, 0, 1, 2, 2, 2}, 4)
+	want := []float64{2.0 / 6, 1.0 / 6, 3.0 / 6, 0}
+	for i := range want {
+		if math.Abs(freq[i]-want[i]) > 1e-12 {
+			t.Errorf("freq[%d] = %v, want %v", i, freq[i], want[i])
+		}
+	}
+}
+
+func TestTrueFrequenciesEmpty(t *testing.T) {
+	freq := TrueFrequencies(nil, 3)
+	for i, f := range freq {
+		if f != 0 {
+			t.Errorf("freq[%d] = %v, want 0", i, f)
+		}
+	}
+}
+
+func TestTrueFrequenciesPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range value did not panic")
+		}
+	}()
+	TrueFrequencies([]int{5}, 3)
+}
+
+func TestTopIndices(t *testing.T) {
+	freq := []float64{0.1, 0.4, 0.2, 0.3}
+	top := TopIndices(freq, 2)
+	if len(top) != 2 || top[0] != 1 || top[1] != 3 {
+		t.Errorf("TopIndices = %v, want [1 3]", top)
+	}
+	all := TopIndices(freq, 99)
+	if len(all) != 4 {
+		t.Errorf("TopIndices capped wrong: %v", all)
+	}
+}
+
+func TestTopIndicesStableTies(t *testing.T) {
+	freq := []float64{0.25, 0.25, 0.25, 0.25}
+	top := TopIndices(freq, 4)
+	for i, v := range top {
+		if v != i {
+			t.Errorf("tie order not stable: %v", top)
+		}
+	}
+}

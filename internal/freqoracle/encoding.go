@@ -1,0 +1,109 @@
+package freqoracle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"github.com/loloha-ldp/loloha/internal/bitset"
+)
+
+// Wire encodings for the one-shot reports. These exist so that the
+// communication-cost column of Table 1 can be *measured* rather than only
+// stated: benchmarks serialize reports and record bytes per user per round.
+
+// valueBytes returns the number of bytes needed to carry one value of a
+// domain of size k (⌈log₂k⌉ bits rounded up to whole bytes).
+func valueBytes(k int) int {
+	if k <= 1 {
+		return 1
+	}
+	b := bits.Len(uint(k - 1)) // ceil(log2 k) for k>1
+	return (b + 7) / 8
+}
+
+// AppendGRRReport appends the wire form of a GRR report over domain size k.
+func AppendGRRReport(dst []byte, report, k int) []byte {
+	n := valueBytes(k)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(report))
+	return append(dst, buf[:n]...)
+}
+
+// DecodeGRRReport reads a GRR report over domain size k from src, returning
+// the report and the remaining bytes.
+func DecodeGRRReport(src []byte, k int) (int, []byte, error) {
+	n := valueBytes(k)
+	if len(src) < n {
+		return 0, nil, fmt.Errorf("freqoracle: short GRR report: %d bytes, want %d", len(src), n)
+	}
+	var buf [8]byte
+	copy(buf[:], src[:n])
+	v := int(binary.LittleEndian.Uint64(buf[:]))
+	if v >= k {
+		return 0, nil, fmt.Errorf("freqoracle: GRR report %d outside [0,%d)", v, k)
+	}
+	return v, src[n:], nil
+}
+
+// AppendLHReport appends the wire form of an LH report: the 8-byte hash
+// seed followed by the perturbed hash over [0..g).
+func AppendLHReport(dst []byte, rep LHReport, g int) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], rep.Seed)
+	dst = append(dst, buf[:]...)
+	return AppendGRRReport(dst, rep.X, g)
+}
+
+// DecodeLHReport reads an LH report with reduced domain g from src.
+func DecodeLHReport(src []byte, g int) (LHReport, []byte, error) {
+	if len(src) < 8 {
+		return LHReport{}, nil, fmt.Errorf("freqoracle: short LH report: %d bytes", len(src))
+	}
+	seed := binary.LittleEndian.Uint64(src[:8])
+	x, rest, err := DecodeGRRReport(src[8:], g)
+	if err != nil {
+		return LHReport{}, nil, err
+	}
+	return LHReport{Seed: seed, X: x}, rest, nil
+}
+
+// AppendUEReport appends the wire form of a unary-encoding report: the k
+// bits packed little-endian.
+func AppendUEReport(dst []byte, rep *bitset.Bitset) []byte {
+	nBytes := (rep.Len() + 7) / 8
+	start := len(dst)
+	for _, w := range rep.Words() {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], w)
+		dst = append(dst, buf[:]...)
+	}
+	return dst[:start+nBytes]
+}
+
+// DecodeUEReport reads a k-bit unary-encoding report from src.
+func DecodeUEReport(src []byte, k int) (*bitset.Bitset, []byte, error) {
+	nBytes := (k + 7) / 8
+	if len(src) < nBytes {
+		return nil, nil, fmt.Errorf("freqoracle: short UE report: %d bytes, want %d", len(src), nBytes)
+	}
+	words := make([]uint64, (k+63)/64)
+	var buf [8]byte
+	for i := range words {
+		lo := i * 8
+		hi := lo + 8
+		if hi > nBytes {
+			hi = nBytes
+		}
+		for j := range buf {
+			buf[j] = 0
+		}
+		copy(buf[:], src[lo:hi])
+		words[i] = binary.LittleEndian.Uint64(buf[:])
+	}
+	bs, err := bitset.FromWords(k, words)
+	if err != nil {
+		return nil, nil, err
+	}
+	return bs, src[nBytes:], nil
+}

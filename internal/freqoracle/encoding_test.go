@@ -1,0 +1,123 @@
+package freqoracle
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/loloha-ldp/loloha/internal/randsrc"
+)
+
+func TestValueBytes(t *testing.T) {
+	cases := []struct{ k, want int }{
+		{2, 1}, {16, 1}, {256, 1}, {257, 2}, {65536, 2}, {65537, 3}, {1412, 2},
+	}
+	for _, c := range cases {
+		if got := valueBytes(c.k); got != c.want {
+			t.Errorf("valueBytes(%d) = %d, want %d", c.k, got, c.want)
+		}
+	}
+}
+
+func TestGRRReportRoundTrip(t *testing.T) {
+	f := func(vRaw uint16, kRaw uint16) bool {
+		k := int(kRaw%2000) + 2
+		v := int(vRaw) % k
+		buf := AppendGRRReport(nil, v, k)
+		got, rest, err := DecodeGRRReport(buf, k)
+		return err == nil && got == v && len(rest) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGRRReportSizeMatchesTable1(t *testing.T) {
+	// Table 1: GRR-style reports cost ceil(log2 k) bits; our byte-aligned
+	// wire format rounds up to bytes.
+	if n := len(AppendGRRReport(nil, 3, 360)); n != 2 {
+		t.Errorf("report over k=360 uses %d bytes, want 2", n)
+	}
+	if n := len(AppendGRRReport(nil, 1, 2)); n != 1 {
+		t.Errorf("report over k=2 uses %d bytes, want 1", n)
+	}
+}
+
+func TestDecodeGRRReportErrors(t *testing.T) {
+	if _, _, err := DecodeGRRReport(nil, 300); err == nil {
+		t.Error("short buffer accepted")
+	}
+	buf := AppendGRRReport(nil, 255, 256)
+	if _, _, err := DecodeGRRReport(buf, 200); err == nil {
+		t.Error("out-of-domain report accepted")
+	}
+}
+
+func TestLHReportRoundTrip(t *testing.T) {
+	f := func(seed uint64, xRaw uint8, gRaw uint8) bool {
+		g := int(gRaw%30) + 2
+		x := int(xRaw) % g
+		buf := AppendLHReport(nil, LHReport{Seed: seed, X: x}, g)
+		got, rest, err := DecodeLHReport(buf, g)
+		return err == nil && got.Seed == seed && got.X == x && len(rest) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUEReportRoundTrip(t *testing.T) {
+	r := randsrc.NewSeeded(71)
+	for _, k := range []int{2, 8, 63, 64, 65, 100, 360} {
+		m, err := NewSUE(k, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := m.Privatize(k/2, r)
+		buf := AppendUEReport(nil, rep)
+		if len(buf) != (k+7)/8 {
+			t.Errorf("k=%d report uses %d bytes, want %d", k, len(buf), (k+7)/8)
+		}
+		got, rest, err := DecodeUEReport(buf, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rest) != 0 {
+			t.Errorf("k=%d leftover bytes: %d", k, len(rest))
+		}
+		if !got.Equal(rep) {
+			t.Errorf("k=%d round trip mismatch", k)
+		}
+	}
+}
+
+func TestUEDecodeShortBuffer(t *testing.T) {
+	if _, _, err := DecodeUEReport(make([]byte, 3), 64); err == nil {
+		t.Error("short UE buffer accepted")
+	}
+}
+
+func TestReportStreamConcatenation(t *testing.T) {
+	// Reports must be parseable back-to-back from one buffer (batch upload).
+	r := randsrc.NewSeeded(73)
+	m, _ := NewOLH(100, 1.0)
+	var buf []byte
+	var want []LHReport
+	for i := 0; i < 20; i++ {
+		rep := m.Privatize(i%100, r)
+		want = append(want, rep)
+		buf = AppendLHReport(buf, rep, m.G())
+	}
+	for i := 0; i < 20; i++ {
+		got, rest, err := DecodeLHReport(buf, m.G())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[i] {
+			t.Fatalf("report %d mismatch: %+v != %+v", i, got, want[i])
+		}
+		buf = rest
+	}
+	if len(buf) != 0 {
+		t.Errorf("leftover bytes after stream decode: %d", len(buf))
+	}
+}

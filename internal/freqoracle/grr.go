@@ -1,0 +1,102 @@
+package freqoracle
+
+import (
+	"fmt"
+
+	"github.com/loloha-ldp/loloha/internal/randsrc"
+)
+
+// GRR is the Generalized Randomized Response mechanism M_GRR over the
+// domain [0..k): the input is kept with probability p = e^ε/(e^ε+k−1) and
+// otherwise replaced by a uniform different value (§2.3.1).
+type GRR struct {
+	k       int
+	params  Params
+	eps     float64
+	pThresh uint64
+}
+
+// NewGRR returns a GRR mechanism for domain size k at privacy level eps.
+func NewGRR(k int, eps float64) (*GRR, error) {
+	params, err := GRRParams(eps, k)
+	if err != nil {
+		return nil, err
+	}
+	return &GRR{
+		k:       k,
+		params:  params,
+		eps:     eps,
+		pThresh: randsrc.BernoulliThreshold(params.P),
+	}, nil
+}
+
+// K returns the domain size.
+func (m *GRR) K() int { return m.k }
+
+// Eps returns the privacy level ε.
+func (m *GRR) Eps() float64 { return m.eps }
+
+// Params returns the calibrated (p, q).
+func (m *GRR) Params() Params { return m.params }
+
+// Perturb applies M_GRR to v. It panics if v is outside [0..k); domain
+// membership is the caller's contract.
+func (m *GRR) Perturb(v int, r *randsrc.Rand) int {
+	if v < 0 || v >= m.k {
+		panic(fmt.Sprintf("freqoracle: GRR input %d outside [0,%d)", v, m.k))
+	}
+	if randsrc.BernoulliWord(r.Uint64(), m.pThresh) {
+		return v
+	}
+	return r.IntnOther(m.k, v)
+}
+
+// PerturbWord applies M_GRR to v consuming exactly the supplied uniform
+// words: keep is decided by w1 and the replacement (if any) is derived from
+// w2. This deterministic form implements PRF-based memoization: feeding the
+// same (w1, w2) always yields the same output, which is exactly "memoize
+// x' for x" in Algorithm 1 without storing the table.
+func (m *GRR) PerturbWord(v int, w1, w2 uint64) int {
+	if v < 0 || v >= m.k {
+		panic(fmt.Sprintf("freqoracle: GRR input %d outside [0,%d)", v, m.k))
+	}
+	if randsrc.BernoulliWord(w1, m.pThresh) {
+		return v
+	}
+	// Map w2 uniformly onto [0..k−1) and skip v.
+	x := int(uint64(m.k-1) * (w2 >> 32) >> 32)
+	if x >= v {
+		x++
+	}
+	return x
+}
+
+// GRRAggregator tallies GRR reports and produces Eq. (1) estimates.
+type GRRAggregator struct {
+	mech   *GRR
+	counts []int64
+	n      int
+}
+
+// NewGRRAggregator returns an empty aggregator for the mechanism.
+func NewGRRAggregator(m *GRR) *GRRAggregator {
+	return &GRRAggregator{mech: m, counts: make([]int64, m.k)}
+}
+
+// Add tallies one sanitized report. It panics on out-of-range reports: those
+// indicate a protocol mismatch, not user noise.
+func (a *GRRAggregator) Add(report int) {
+	if report < 0 || report >= a.mech.k {
+		panic(fmt.Sprintf("freqoracle: GRR report %d outside [0,%d)", report, a.mech.k))
+	}
+	a.counts[report]++
+	a.n++
+}
+
+// N returns the number of reports tallied.
+func (a *GRRAggregator) N() int { return a.n }
+
+// Estimate returns the unbiased frequency estimates for all k values.
+func (a *GRRAggregator) Estimate() []float64 {
+	return EstimateAll(a.counts, a.n, a.mech.params)
+}

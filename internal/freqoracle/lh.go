@@ -1,0 +1,105 @@
+package freqoracle
+
+import (
+	"fmt"
+
+	"github.com/loloha-ldp/loloha/internal/hashfamily"
+	"github.com/loloha-ldp/loloha/internal/randsrc"
+)
+
+// LH is the one-shot Local Hashing protocol (§2.3.2): each user picks a
+// random member H of a universal family V → [0..g), hashes the value and
+// applies GRR over [0..g) to the hash. BLH fixes g = 2 and OLH picks
+// g = ⌊e^ε⌉ + 1.
+type LH struct {
+	k      int
+	family hashfamily.Family
+	grr    *GRR
+}
+
+// NewLH returns an LH protocol over domain size k with reduced domain g at
+// privacy level eps, drawing hash functions from family.
+func NewLH(k int, g int, eps float64, family hashfamily.Family) (*LH, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("freqoracle: LH needs k >= 2, got %d", k)
+	}
+	grr, err := NewGRR(g, eps)
+	if err != nil {
+		return nil, err
+	}
+	return &LH{k: k, family: family, grr: grr}, nil
+}
+
+// NewBLH returns Binary Local Hashing (g = 2).
+func NewBLH(k int, eps float64) (*LH, error) {
+	return NewLH(k, 2, eps, hashfamily.NewSplitMixFamily(2))
+}
+
+// NewOLH returns Optimal Local Hashing (g = ⌊e^ε⌉ + 1).
+func NewOLH(k int, eps float64) (*LH, error) {
+	g := OLHOptimalG(eps)
+	return NewLH(k, g, eps, hashfamily.NewSplitMixFamily(g))
+}
+
+// K returns the original domain size.
+func (m *LH) K() int { return m.k }
+
+// G returns the reduced domain size.
+func (m *LH) G() int { return m.grr.k }
+
+// Eps returns the privacy level ε.
+func (m *LH) Eps() float64 { return m.grr.eps }
+
+// LHReport is the pair ⟨H, GRR(H(v))⟩ a user sends: the hash member is
+// identified by its seed.
+type LHReport struct {
+	Seed uint64
+	X    int
+}
+
+// Privatize hashes v with a freshly drawn member and perturbs the hash.
+func (m *LH) Privatize(v int, r *randsrc.Rand) LHReport {
+	if v < 0 || v >= m.k {
+		panic(fmt.Sprintf("freqoracle: LH input %d outside [0,%d)", v, m.k))
+	}
+	h := m.family.New(r)
+	return LHReport{Seed: h.Seed(), X: m.grr.Perturb(h.Index(v), r)}
+}
+
+// LHAggregator tallies LH reports. For each candidate value v it counts the
+// users whose report supports v, i.e. H_u(v) == x_u, and estimates with
+// Eq. (1) using q' = 1/g (§2.3.2).
+type LHAggregator struct {
+	mech   *LH
+	counts []int64
+	n      int
+}
+
+// NewLHAggregator returns an empty aggregator for the mechanism.
+func NewLHAggregator(m *LH) *LHAggregator {
+	return &LHAggregator{mech: m, counts: make([]int64, m.k)}
+}
+
+// Add tallies one report; it costs O(k) hash evaluations (the server
+// run-time of Table 1).
+func (a *LHAggregator) Add(rep LHReport) {
+	if rep.X < 0 || rep.X >= a.mech.G() {
+		panic(fmt.Sprintf("freqoracle: LH report %d outside [0,%d)", rep.X, a.mech.G()))
+	}
+	h := a.mech.family.FromSeed(rep.Seed)
+	for v := 0; v < a.mech.k; v++ {
+		if h.Index(v) == rep.X {
+			a.counts[v]++
+		}
+	}
+	a.n++
+}
+
+// N returns the number of reports tallied.
+func (a *LHAggregator) N() int { return a.n }
+
+// Estimate returns the unbiased frequency estimates for all k values.
+func (a *LHAggregator) Estimate() []float64 {
+	params := Params{P: a.mech.grr.params.P, Q: 1 / float64(a.mech.G())}
+	return EstimateAll(a.counts, a.n, params)
+}

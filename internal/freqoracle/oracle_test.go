@@ -1,0 +1,344 @@
+package freqoracle
+
+import (
+	"math"
+	"testing"
+
+	"github.com/loloha-ldp/loloha/internal/domain"
+	"github.com/loloha-ldp/loloha/internal/randsrc"
+)
+
+// drawZipf draws n values in [0..k) from a simple Zipf-like distribution so
+// that unbiasedness is exercised on a skewed histogram.
+func drawZipf(n, k int, r *randsrc.Rand) []int {
+	weights := make([]float64, k)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 1 / float64(i+1)
+		total += weights[i]
+	}
+	cdf := make([]float64, k)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cdf[i] = acc
+	}
+	out := make([]int, n)
+	for i := range out {
+		u := r.Float64()
+		for v, c := range cdf {
+			if u <= c {
+				out[i] = v
+				break
+			}
+		}
+	}
+	return out
+}
+
+// mse returns the mean squared error between two histograms.
+func mse(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s / float64(len(a))
+}
+
+func TestGRREndToEndUnbiased(t *testing.T) {
+	const k, n, eps = 12, 60000, 2.0
+	r := randsrc.NewSeeded(101)
+	values := drawZipf(n, k, r)
+	truth := domain.TrueFrequencies(values, k)
+
+	m, err := NewGRR(k, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewGRRAggregator(m)
+	for _, v := range values {
+		agg.Add(m.Perturb(v, r))
+	}
+	est := agg.Estimate()
+	// Estimates must track truth within a few standard deviations of the
+	// theoretical variance.
+	sd := math.Sqrt(ApproxVarGRR(eps, k, n))
+	for v := range truth {
+		if math.Abs(est[v]-truth[v]) > 6*sd+0.01 {
+			t.Errorf("GRR estimate[%d] = %v, truth %v (sd %v)", v, est[v], truth[v], sd)
+		}
+	}
+	// Estimates sum to ~1 (a consequence of Eq. (1) and Σ C(v) = n).
+	sum := 0.0
+	for _, e := range est {
+		sum += e
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("GRR estimates sum to %v", sum)
+	}
+}
+
+func TestGRRKeepRate(t *testing.T) {
+	const k, eps = 8, 1.5
+	m, _ := NewGRR(k, eps)
+	r := randsrc.NewSeeded(7)
+	const trials = 200000
+	kept := 0
+	for i := 0; i < trials; i++ {
+		if m.Perturb(3, r) == 3 {
+			kept++
+		}
+	}
+	got := float64(kept) / trials
+	if math.Abs(got-m.Params().P) > 0.005 {
+		t.Errorf("GRR keep rate %v, want %v", got, m.Params().P)
+	}
+}
+
+func TestGRRNoiseUniformOverOthers(t *testing.T) {
+	const k, eps = 6, 1.0
+	m, _ := NewGRR(k, eps)
+	r := randsrc.NewSeeded(13)
+	counts := make([]int, k)
+	const trials = 120000
+	for i := 0; i < trials; i++ {
+		counts[m.Perturb(0, r)]++
+	}
+	// Each wrong value should appear with probability q.
+	q := m.Params().Q
+	for v := 1; v < k; v++ {
+		got := float64(counts[v]) / trials
+		if math.Abs(got-q) > 0.005 {
+			t.Errorf("noise value %d rate %v, want %v", v, got, q)
+		}
+	}
+}
+
+func TestGRRPerturbWordDeterministic(t *testing.T) {
+	m, _ := NewGRR(10, 1.0)
+	r := randsrc.NewSeeded(3)
+	for i := 0; i < 1000; i++ {
+		w1, w2 := r.Uint64(), r.Uint64()
+		v := i % 10
+		a := m.PerturbWord(v, w1, w2)
+		b := m.PerturbWord(v, w1, w2)
+		if a != b {
+			t.Fatal("PerturbWord not deterministic")
+		}
+		if a < 0 || a >= 10 {
+			t.Fatalf("PerturbWord out of range: %d", a)
+		}
+	}
+}
+
+func TestGRRPerturbWordMatchesDistribution(t *testing.T) {
+	// The word-driven form must induce the same (p, q) distribution as the
+	// stream form.
+	const k, eps = 5, 1.2
+	m, _ := NewGRR(k, eps)
+	r := randsrc.NewSeeded(17)
+	counts := make([]int, k)
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		counts[m.PerturbWord(2, r.Uint64(), r.Uint64())]++
+	}
+	if got := float64(counts[2]) / trials; math.Abs(got-m.Params().P) > 0.005 {
+		t.Errorf("PerturbWord keep rate %v, want %v", got, m.Params().P)
+	}
+	for v := 0; v < k; v++ {
+		if v == 2 {
+			continue
+		}
+		if got := float64(counts[v]) / trials; math.Abs(got-m.Params().Q) > 0.005 {
+			t.Errorf("PerturbWord value %d rate %v, want %v", v, got, m.Params().Q)
+		}
+	}
+}
+
+func TestLHEndToEnd(t *testing.T) {
+	const k, n, eps = 50, 40000, 3.0
+	r := randsrc.NewSeeded(211)
+	values := drawZipf(n, k, r)
+	truth := domain.TrueFrequencies(values, k)
+
+	m, err := NewOLH(k, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewLHAggregator(m)
+	for _, v := range values {
+		agg.Add(m.Privatize(v, r))
+	}
+	est := agg.Estimate()
+	sd := math.Sqrt(ApproxVarLH(eps, m.G(), n))
+	for v := range truth {
+		if math.Abs(est[v]-truth[v]) > 6*sd+0.02 {
+			t.Errorf("OLH estimate[%d] = %v, truth %v (sd %v)", v, est[v], truth[v], sd)
+		}
+	}
+}
+
+func TestBLHBinary(t *testing.T) {
+	m, err := NewBLH(100, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.G() != 2 {
+		t.Fatalf("BLH g = %d, want 2", m.G())
+	}
+	r := randsrc.NewSeeded(5)
+	rep := m.Privatize(42, r)
+	if rep.X != 0 && rep.X != 1 {
+		t.Errorf("BLH report %d not binary", rep.X)
+	}
+}
+
+func TestLHEmpiricalVarianceMatchesTheory(t *testing.T) {
+	// Estimate a zero-frequency value many times; the sample variance must
+	// match ApproxVarLH within statistical tolerance.
+	const k, n, eps, rounds = 20, 2000, 1.0, 40
+	m, _ := NewBLH(k, eps)
+	r := randsrc.NewSeeded(23)
+	var ests []float64
+	for round := 0; round < rounds; round++ {
+		agg := NewLHAggregator(m)
+		for i := 0; i < n; i++ {
+			agg.Add(m.Privatize(0, r)) // nobody holds value k-1
+		}
+		ests = append(ests, agg.Estimate()[k-1])
+	}
+	mean, varSum := 0.0, 0.0
+	for _, e := range ests {
+		mean += e
+	}
+	mean /= rounds
+	for _, e := range ests {
+		varSum += (e - mean) * (e - mean)
+	}
+	sampleVar := varSum / (rounds - 1)
+	want := ApproxVarLH(eps, 2, n)
+	// Sample variance of 40 draws has relative sd ~ sqrt(2/39) ~ 23%.
+	if sampleVar < want/2.5 || sampleVar > want*2.5 {
+		t.Errorf("BLH sample variance %v, theory %v", sampleVar, want)
+	}
+	if math.Abs(mean) > 6*math.Sqrt(want/rounds) {
+		t.Errorf("BLH estimator biased: mean %v for true 0", mean)
+	}
+}
+
+func TestUEEndToEnd(t *testing.T) {
+	const k, n, eps = 30, 30000, 2.0
+	r := randsrc.NewSeeded(307)
+	values := drawZipf(n, k, r)
+	truth := domain.TrueFrequencies(values, k)
+
+	for name, mk := range map[string]func(int, float64) (*UE, error){
+		"SUE": NewSUE,
+		"OUE": NewOUE,
+	} {
+		m, err := mk(k, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg := NewUEAggregator(m)
+		for _, v := range values {
+			agg.Add(m.Privatize(v, r))
+		}
+		est := agg.Estimate()
+		sd := math.Sqrt(ApproxVarUE(m.Params(), n))
+		for v := range truth {
+			if math.Abs(est[v]-truth[v]) > 6*sd+0.01 {
+				t.Errorf("%s estimate[%d] = %v, truth %v", name, v, est[v], truth[v])
+			}
+		}
+	}
+}
+
+func TestUEBitRates(t *testing.T) {
+	const k, eps = 16, 1.0
+	m, _ := NewOUE(k, eps)
+	r := randsrc.NewSeeded(31)
+	const trials = 50000
+	ones := make([]int, k)
+	for i := 0; i < trials; i++ {
+		rep := m.Privatize(4, r)
+		for v := 0; v < k; v++ {
+			if rep.Get(v) {
+				ones[v]++
+			}
+		}
+	}
+	pHat := float64(ones[4]) / trials
+	if math.Abs(pHat-m.Params().P) > 0.01 {
+		t.Errorf("true-bit rate %v, want %v", pHat, m.Params().P)
+	}
+	for v := 0; v < k; v++ {
+		if v == 4 {
+			continue
+		}
+		qHat := float64(ones[v]) / trials
+		if math.Abs(qHat-m.Params().Q) > 0.01 {
+			t.Errorf("zero-bit %d rate %v, want %v", v, qHat, m.Params().Q)
+		}
+	}
+}
+
+func TestOUELowerMSEThanSUEEmpirical(t *testing.T) {
+	const k, n, eps = 40, 8000, 1.0
+	r := randsrc.NewSeeded(41)
+	values := drawZipf(n, k, r)
+	truth := domain.TrueFrequencies(values, k)
+	run := func(mk func(int, float64) (*UE, error)) float64 {
+		total := 0.0
+		const reps = 8
+		for rep := 0; rep < reps; rep++ {
+			m, _ := mk(k, eps)
+			agg := NewUEAggregator(m)
+			for _, v := range values {
+				agg.Add(m.Privatize(v, r))
+			}
+			total += mse(agg.Estimate(), truth)
+		}
+		return total / reps
+	}
+	if sue, oue := run(NewSUE), run(NewOUE); oue >= sue {
+		t.Errorf("OUE MSE %v not below SUE MSE %v", oue, sue)
+	}
+}
+
+func TestAggregatorsPanicOnBadReports(t *testing.T) {
+	grr, _ := NewGRR(5, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("GRR aggregator accepted out-of-range report")
+			}
+		}()
+		NewGRRAggregator(grr).Add(5)
+	}()
+
+	ue, _ := NewOUE(5, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("UE aggregator accepted wrong-length report")
+			}
+		}()
+		agg := NewUEAggregator(ue)
+		m2, _ := NewOUE(6, 1)
+		agg.Add(m2.Privatize(0, randsrc.NewSeeded(1)))
+	}()
+}
+
+func TestNewLHRejectsBadShape(t *testing.T) {
+	if _, err := NewBLH(1, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := NewOLH(10, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := NewUE(1, Params{P: .6, Q: .4}, 1); err == nil {
+		t.Error("UE k=1 accepted")
+	}
+}

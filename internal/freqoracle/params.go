@@ -1,0 +1,124 @@
+// Package freqoracle implements the one-shot LDP frequency estimation
+// protocols of §2.3 of the paper: Generalized Randomized Response (GRR),
+// Local Hashing (BLH/OLH) and Unary Encoding (SUE/OUE). They are both the
+// building blocks of the longitudinal protocols (GRR is the randomizer
+// inside LOLOHA) and the baselines the paper composes into RAPPOR, L-OSUE,
+// L-GRR and dBitFlipPM.
+package freqoracle
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params holds the two perturbation probabilities of one randomization
+// round: P is the probability of keeping the "true" coordinate and Q the
+// probability of producing any one particular different coordinate (GRR) or
+// of raising a zero bit (unary encoding).
+type Params struct {
+	P, Q float64
+}
+
+// Valid reports whether the parameters are usable probabilities with P > Q
+// (an informative, correctly oriented randomizer).
+func (p Params) Valid() bool {
+	return p.P > p.Q && p.Q > 0 && p.P < 1
+}
+
+// GRRParams returns the GRR calibration for domain size k at privacy level
+// eps: p = e^ε/(e^ε+k−1), q = (1−p)/(k−1) (§2.3.1).
+func GRRParams(eps float64, k int) (Params, error) {
+	if eps <= 0 {
+		return Params{}, fmt.Errorf("freqoracle: eps must be positive, got %v", eps)
+	}
+	if k < 2 {
+		return Params{}, fmt.Errorf("freqoracle: GRR needs k >= 2, got %d", k)
+	}
+	e := math.Exp(eps)
+	p := e / (e + float64(k) - 1)
+	return Params{P: p, Q: (1 - p) / (float64(k) - 1)}, nil
+}
+
+// GRREps returns the LDP level ln(p/q) implied by GRR parameters.
+func GRREps(p Params) float64 { return math.Log(p.P / p.Q) }
+
+// SUEParams returns the Symmetric Unary Encoding (RAPPOR-style) calibration:
+// p = e^{ε/2}/(e^{ε/2}+1), q = 1−p (§2.3.3).
+func SUEParams(eps float64) (Params, error) {
+	if eps <= 0 {
+		return Params{}, fmt.Errorf("freqoracle: eps must be positive, got %v", eps)
+	}
+	e := math.Exp(eps / 2)
+	p := e / (e + 1)
+	return Params{P: p, Q: 1 - p}, nil
+}
+
+// OUEParams returns the Optimal Unary Encoding calibration: p = 1/2,
+// q = 1/(e^ε+1) (§2.3.3).
+func OUEParams(eps float64) (Params, error) {
+	if eps <= 0 {
+		return Params{}, fmt.Errorf("freqoracle: eps must be positive, got %v", eps)
+	}
+	return Params{P: 0.5, Q: 1 / (math.Exp(eps) + 1)}, nil
+}
+
+// UEEps returns the LDP level ln(p(1−q)/((1−p)q)) implied by unary-encoding
+// parameters (two bits differ between neighbouring one-hot inputs).
+func UEEps(p Params) float64 {
+	return math.Log(p.P * (1 - p.Q) / ((1 - p.P) * p.Q))
+}
+
+// Estimate is the unbiased estimator of Eq. (1):
+//
+//	f̂(v) = (C(v) − n·q) / (n·(p − q)).
+func Estimate(count float64, n int, p Params) float64 {
+	nf := float64(n)
+	return (count - nf*p.Q) / (nf * (p.P - p.Q))
+}
+
+// EstimateAll applies Estimate to a full count vector.
+func EstimateAll(counts []int64, n int, p Params) []float64 {
+	out := make([]float64, len(counts))
+	for v, c := range counts {
+		out[v] = Estimate(float64(c), n, p)
+	}
+	return out
+}
+
+// ApproxVarGRR is the approximate (f→0) variance of the GRR estimator:
+// q(1−q)/(n(p−q)²).
+func ApproxVarGRR(eps float64, k, n int) float64 {
+	p, err := GRRParams(eps, k)
+	if err != nil {
+		return math.NaN()
+	}
+	return p.Q * (1 - p.Q) / (float64(n) * (p.P - p.Q) * (p.P - p.Q))
+}
+
+// ApproxVarLH is the approximate variance of the LH estimator with reduced
+// domain g: with q' = 1/g in Eq. (1) the variance is q'(1−q')/(n(p−q')²)
+// evaluated at the GRR-over-g keep probability p.
+func ApproxVarLH(eps float64, g, n int) float64 {
+	p, err := GRRParams(eps, g)
+	if err != nil {
+		return math.NaN()
+	}
+	qp := 1 / float64(g)
+	return qp * (1 - qp) / (float64(n) * (p.P - qp) * (p.P - qp))
+}
+
+// ApproxVarUE is the approximate variance of a unary-encoding estimator:
+// q(1−q)/(n(p−q)²).
+func ApproxVarUE(p Params, n int) float64 {
+	return p.Q * (1 - p.Q) / (float64(n) * (p.P - p.Q) * (p.P - p.Q))
+}
+
+// OLHOptimalG returns the OLH reduced-domain size ⌊e^ε⌉ + 1 (rounded to the
+// nearest integer, never below 2) from Wang et al., §2.3.2.
+func OLHOptimalG(eps float64) int {
+	g := int(math.Round(math.Exp(eps))) + 1
+	if g < 2 {
+		g = 2
+	}
+	return g
+}

@@ -1,0 +1,169 @@
+package freqoracle
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGRRParamsIdentities(t *testing.T) {
+	for _, eps := range []float64{0.5, 1, 2, 5} {
+		for _, k := range []int{2, 10, 360, 1412} {
+			p, err := GRRParams(eps, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !p.Valid() {
+				t.Fatalf("GRRParams(%v,%d) invalid: %+v", eps, k, p)
+			}
+			// p/q must equal e^ε (the LDP guarantee of §2.3.1).
+			if got := GRREps(p); math.Abs(got-eps) > 1e-12 {
+				t.Errorf("GRREps(GRRParams(%v,%d)) = %v", eps, k, got)
+			}
+			// Total probability: p + (k-1)q == 1.
+			if total := p.P + float64(k-1)*p.Q; math.Abs(total-1) > 1e-12 {
+				t.Errorf("GRR k=%d probabilities sum to %v", k, total)
+			}
+		}
+	}
+}
+
+func TestGRRParamsRejectsBadInput(t *testing.T) {
+	if _, err := GRRParams(0, 10); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := GRRParams(-1, 10); err == nil {
+		t.Error("eps<0 accepted")
+	}
+	if _, err := GRRParams(1, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+}
+
+func TestSUEParamsIdentities(t *testing.T) {
+	for _, eps := range []float64{0.5, 1, 3, 5} {
+		p, err := SUEParams(eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.P+p.Q-1) > 1e-12 {
+			t.Errorf("SUE(%v) not symmetric: p+q = %v", eps, p.P+p.Q)
+		}
+		if got := UEEps(p); math.Abs(got-eps) > 1e-9 {
+			t.Errorf("UEEps(SUEParams(%v)) = %v", eps, got)
+		}
+	}
+}
+
+func TestOUEParamsIdentities(t *testing.T) {
+	for _, eps := range []float64{0.5, 1, 3, 5} {
+		p, err := OUEParams(eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.P != 0.5 {
+			t.Errorf("OUE p = %v, want 0.5", p.P)
+		}
+		if got := UEEps(p); math.Abs(got-eps) > 1e-9 {
+			t.Errorf("UEEps(OUEParams(%v)) = %v", eps, got)
+		}
+	}
+}
+
+func TestOUEBeatsSUEVariance(t *testing.T) {
+	// The whole point of OUE: strictly lower approximate variance.
+	for _, eps := range []float64{0.5, 1, 2, 4} {
+		sue, _ := SUEParams(eps)
+		oue, _ := OUEParams(eps)
+		if ApproxVarUE(oue, 1000) >= ApproxVarUE(sue, 1000) {
+			t.Errorf("eps=%v: OUE variance %v not below SUE %v",
+				eps, ApproxVarUE(oue, 1000), ApproxVarUE(sue, 1000))
+		}
+	}
+}
+
+func TestEstimateInvertsExactCounts(t *testing.T) {
+	// Feeding the *expected* counts into Eq. (1) must return the exact
+	// frequency: E[C(v)] = n(f p + (1-f) q) for GRR.
+	p := Params{P: 0.7, Q: 0.1}
+	n := 10000
+	for _, f := range []float64{0, 0.25, 0.5, 1} {
+		expected := float64(n) * (f*p.P + (1-f)*p.Q)
+		if got := Estimate(expected, n, p); math.Abs(got-f) > 1e-12 {
+			t.Errorf("Estimate inverse at f=%v: got %v", f, got)
+		}
+	}
+}
+
+func TestEstimateQuickLinearity(t *testing.T) {
+	// Eq. (1) is affine in the count: Estimate(a+b) - Estimate(a) must be
+	// b / (n(p-q)).
+	p := Params{P: 0.8, Q: 0.2}
+	f := func(aRaw, bRaw uint16) bool {
+		a, b := float64(aRaw), float64(bRaw)
+		n := 5000
+		diff := Estimate(a+b, n, p) - Estimate(a, n, p)
+		want := b / (float64(n) * (p.P - p.Q))
+		return math.Abs(diff-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOLHOptimalG(t *testing.T) {
+	cases := []struct {
+		eps  float64
+		want int
+	}{
+		{0.1, 2},  // e^0.1 ~ 1.105 -> 1 + 1 = 2
+		{1, 4},    // e ~ 2.718 -> 3 + 1
+		{2, 8},    // e^2 ~ 7.39 -> 7 + 1
+		{3, 21},   // e^3 ~ 20.09 -> 20 + 1
+		{0.01, 2}, // floor at 2
+		{5, 149},  // e^5 ~ 148.4 -> 148 + 1
+	}
+	for _, c := range cases {
+		if got := OLHOptimalG(c.eps); got != c.want {
+			t.Errorf("OLHOptimalG(%v) = %d, want %d", c.eps, got, c.want)
+		}
+	}
+}
+
+func TestApproxVarianceFormulasPositive(t *testing.T) {
+	f := func(epsRaw, kRaw uint8) bool {
+		eps := 0.1 + float64(epsRaw%50)/10
+		k := int(kRaw%100) + 2
+		if v := ApproxVarGRR(eps, k, 1000); !(v > 0) || math.IsInf(v, 0) {
+			return false
+		}
+		if v := ApproxVarLH(eps, 2+int(kRaw%15), 1000); !(v > 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproxVarGRRGrowsWithK(t *testing.T) {
+	prev := 0.0
+	for _, k := range []int{2, 8, 32, 128, 1024} {
+		v := ApproxVarGRR(1.0, k, 10000)
+		if v <= prev {
+			t.Errorf("ApproxVarGRR not increasing at k=%d: %v <= %v", k, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestApproxVarShrinksWithN(t *testing.T) {
+	if ApproxVarGRR(1, 16, 20000) >= ApproxVarGRR(1, 16, 10000) {
+		t.Error("variance did not shrink with n")
+	}
+	sue, _ := SUEParams(1)
+	if ApproxVarUE(sue, 20000) >= ApproxVarUE(sue, 10000) {
+		t.Error("UE variance did not shrink with n")
+	}
+}

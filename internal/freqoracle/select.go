@@ -1,0 +1,49 @@
+package freqoracle
+
+import "math"
+
+// Protocol selection guidance from Wang et al. (USENIX Sec'17), which the
+// paper builds on: GRR's approximate variance beats OLH's exactly when the
+// domain is small relative to e^ε.
+
+// OneShotChoice names a recommended one-shot protocol.
+type OneShotChoice int
+
+// Recommended one-shot protocols.
+const (
+	ChooseGRR OneShotChoice = iota
+	ChooseOLH
+)
+
+// String returns the choice name.
+func (c OneShotChoice) String() string {
+	if c == ChooseGRR {
+		return "GRR"
+	}
+	return "OLH"
+}
+
+// BestOneShot recommends GRR when k < 3e^ε + 2 (where its variance
+// (e^ε+k−2)/(n(e^ε−1)²) undercuts OLH's 4e^ε/(n(e^ε−1)²)) and OLH
+// otherwise.
+func BestOneShot(k int, eps float64) OneShotChoice {
+	if float64(k) < 3*math.Exp(eps)+2 {
+		return ChooseGRR
+	}
+	return ChooseOLH
+}
+
+// ApproxVarGRRClosed is the standard closed form of GRR's approximate
+// variance, (e^ε + k − 2)/(n·(e^ε − 1)²) — algebraically identical to
+// ApproxVarGRR and kept for the selection rule's readability.
+func ApproxVarGRRClosed(eps float64, k, n int) float64 {
+	e := math.Exp(eps)
+	return (e + float64(k) - 2) / (float64(n) * (e - 1) * (e - 1))
+}
+
+// ApproxVarOLHClosed is the standard closed form of OLH's approximate
+// variance, 4e^ε/(n·(e^ε − 1)²).
+func ApproxVarOLHClosed(eps float64, n int) float64 {
+	e := math.Exp(eps)
+	return 4 * e / (float64(n) * (e - 1) * (e - 1))
+}

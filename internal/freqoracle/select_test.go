@@ -1,0 +1,76 @@
+package freqoracle
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxVarGRRClosedMatchesDirect(t *testing.T) {
+	// The closed form must agree with q(1−q)/(n(p−q)²).
+	for _, eps := range []float64{0.5, 1, 2, 4} {
+		for _, k := range []int{2, 10, 360} {
+			direct := ApproxVarGRR(eps, k, 5000)
+			closed := ApproxVarGRRClosed(eps, k, 5000)
+			if math.Abs(direct-closed) > 1e-12*closed {
+				t.Errorf("eps=%v k=%d: direct %v != closed %v", eps, k, direct, closed)
+			}
+		}
+	}
+}
+
+func TestApproxVarOLHClosedMatchesLH(t *testing.T) {
+	// OLH's closed form assumes the continuous-optimal g = e^ε + 1; at
+	// that g the ApproxVarLH formula must agree.
+	for _, eps := range []float64{1.0, 2.0, 3.0} {
+		closed := ApproxVarOLHClosed(eps, 5000)
+		// Evaluate LH variance at non-integral optimal g by direct algebra.
+		e := math.Exp(eps)
+		g := e + 1
+		p := e / (e + g - 1)
+		qp := 1 / g
+		direct := qp * (1 - qp) / (5000 * (p - qp) * (p - qp))
+		if math.Abs(direct-closed) > 1e-9*closed {
+			t.Errorf("eps=%v: direct %v != closed %v", eps, direct, closed)
+		}
+	}
+}
+
+func TestBestOneShotThreshold(t *testing.T) {
+	// The rule: GRR iff k < 3e^ε + 2.
+	for _, eps := range []float64{0.5, 1, 2, 3} {
+		threshold := 3*math.Exp(eps) + 2
+		kBelow := int(threshold) - 1
+		kAbove := int(threshold) + 2
+		if kBelow >= 2 && BestOneShot(kBelow, eps) != ChooseGRR {
+			t.Errorf("eps=%v k=%d: want GRR", eps, kBelow)
+		}
+		if BestOneShot(kAbove, eps) != ChooseOLH {
+			t.Errorf("eps=%v k=%d: want OLH", eps, kAbove)
+		}
+	}
+}
+
+func TestBestOneShotAgreesWithVariances(t *testing.T) {
+	// The recommendation must actually pick the lower-variance protocol.
+	const n = 10000
+	for _, eps := range []float64{0.5, 1, 2, 4} {
+		for _, k := range []int{2, 5, 20, 100, 1000} {
+			grr := ApproxVarGRRClosed(eps, k, n)
+			olh := ApproxVarOLHClosed(eps, n)
+			want := ChooseOLH
+			if grr < olh {
+				want = ChooseGRR
+			}
+			if got := BestOneShot(k, eps); got != want {
+				t.Errorf("eps=%v k=%d: chose %v, variance says %v (grr %v olh %v)",
+					eps, k, got, want, grr, olh)
+			}
+		}
+	}
+}
+
+func TestOneShotChoiceString(t *testing.T) {
+	if ChooseGRR.String() != "GRR" || ChooseOLH.String() != "OLH" {
+		t.Error("choice names wrong")
+	}
+}

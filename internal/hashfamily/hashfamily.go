@@ -1,0 +1,195 @@
+// Package hashfamily implements the universal hash families used by local
+// hashing protocols (Wang et al. USENIX Sec'17) and by LOLOHA.
+//
+// A family maps an input value v ∈ V into a reduced domain [0..g) such that
+// for any two distinct inputs, a randomly chosen member collides with
+// probability at most ~1/g (the universal property of §3.1 of the paper).
+//
+// Two families are provided:
+//
+//   - SplitMix: a random-oracle style family h(v) = Mix64(seed ⊕ f(v)) mod g.
+//     Statistically this behaves like a uniformly random function, which is
+//     strictly stronger than 2-universality. It mirrors the xxhash-based
+//     family used by the authors' reference implementation.
+//   - CarterWegman: the classic provably 2-universal family
+//     h(v) = ((a·v + b) mod p) mod g with p = 2^61 − 1 (Mersenne prime).
+//
+// Members are identified by a compact 64-bit seed, so a client's hash
+// function can be communicated to the server as part of its first report
+// ("Send H" in Algorithm 1).
+package hashfamily
+
+import (
+	"math/bits"
+
+	"github.com/loloha-ldp/loloha/internal/randsrc"
+)
+
+// Hash is one member of a universal family, mapping values to [0..G()).
+type Hash interface {
+	// Index hashes an integer-encoded value.
+	Index(v int) int
+	// IndexString hashes a string value (for non-integer domains).
+	IndexString(v string) int
+	// G returns the size of the reduced output domain.
+	G() int
+	// Seed returns the compact identifier of this member, sufficient for
+	// the server to re-instantiate the same function.
+	Seed() uint64
+}
+
+// Family constructs members of a universal hash family for a fixed g.
+type Family interface {
+	// New draws a fresh member using r as the source of randomness.
+	New(r *randsrc.Rand) Hash
+	// FromSeed reconstructs the member identified by seed (server side).
+	FromSeed(seed uint64) Hash
+	// Name identifies the family in reports and benchmarks.
+	Name() string
+}
+
+// ---------------------------------------------------------------------------
+// SplitMix family (default)
+
+// SplitMixFamily is a random-oracle style family: each seed induces an
+// (effectively) independent uniform function V → [0..g).
+type SplitMixFamily struct{ g int }
+
+// NewSplitMixFamily returns the SplitMix family with output domain [0..g).
+// It panics if g < 2 (a reduced domain must have at least two cells).
+func NewSplitMixFamily(g int) SplitMixFamily {
+	if g < 2 {
+		panic("hashfamily: g must be at least 2")
+	}
+	return SplitMixFamily{g: g}
+}
+
+// Name implements Family.
+func (SplitMixFamily) Name() string { return "splitmix" }
+
+// New implements Family.
+func (f SplitMixFamily) New(r *randsrc.Rand) Hash {
+	return SplitMixHash{seed: r.Uint64(), g: f.g}
+}
+
+// FromSeed implements Family.
+func (f SplitMixFamily) FromSeed(seed uint64) Hash {
+	return SplitMixHash{seed: seed, g: f.g}
+}
+
+// SplitMixHash is one member of SplitMixFamily.
+type SplitMixHash struct {
+	seed uint64
+	g    int
+}
+
+// Index implements Hash.
+func (h SplitMixHash) Index(v int) int {
+	return reduce(randsrc.Mix64(h.seed^(uint64(v)*0xD6E8FEB86659FD93+0x9E3779B97F4A7C15)), h.g)
+}
+
+// IndexString implements Hash.
+func (h SplitMixHash) IndexString(v string) int {
+	z := h.seed
+	for i := 0; i < len(v); i++ {
+		z = randsrc.Mix64(z ^ uint64(v[i])*0xFF51AFD7ED558CCD)
+	}
+	return reduce(randsrc.Mix64(z^uint64(len(v))), h.g)
+}
+
+// G implements Hash.
+func (h SplitMixHash) G() int { return h.g }
+
+// Seed implements Hash.
+func (h SplitMixHash) Seed() uint64 { return h.seed }
+
+// reduce maps a uniform 64-bit word onto [0..g) with negligible bias
+// (Lemire's multiply-shift reduction).
+func reduce(w uint64, g int) int {
+	hi, _ := bits.Mul64(w, uint64(g))
+	return int(hi)
+}
+
+// ---------------------------------------------------------------------------
+// Carter–Wegman family
+
+// mersenne61 is the Mersenne prime 2^61 − 1, which admits a fast mod.
+const mersenne61 = (1 << 61) - 1
+
+// CarterWegmanFamily is the 2-universal family ((a·v + b) mod p) mod g over
+// the prime field p = 2^61 − 1, with a ∈ [1, p), b ∈ [0, p).
+type CarterWegmanFamily struct{ g int }
+
+// NewCarterWegmanFamily returns the Carter–Wegman family with output domain
+// [0..g). It panics if g < 2.
+func NewCarterWegmanFamily(g int) CarterWegmanFamily {
+	if g < 2 {
+		panic("hashfamily: g must be at least 2")
+	}
+	return CarterWegmanFamily{g: g}
+}
+
+// Name implements Family.
+func (CarterWegmanFamily) Name() string { return "carter-wegman" }
+
+// New implements Family.
+func (f CarterWegmanFamily) New(r *randsrc.Rand) Hash {
+	// Pack (a, b) into one 64-bit seed by deriving both from it; this keeps
+	// the wire format identical across families.
+	return f.FromSeed(r.Uint64())
+}
+
+// FromSeed implements Family.
+func (f CarterWegmanFamily) FromSeed(seed uint64) Hash {
+	a := randsrc.Derive(seed, 1)%(mersenne61-1) + 1 // a ∈ [1, p)
+	b := randsrc.Derive(seed, 2) % mersenne61       // b ∈ [0, p)
+	return CarterWegmanHash{seed: seed, a: a, b: b, g: f.g}
+}
+
+// CarterWegmanHash is one member of CarterWegmanFamily.
+type CarterWegmanHash struct {
+	seed uint64
+	a, b uint64
+	g    int
+}
+
+// Index implements Hash.
+func (h CarterWegmanHash) Index(v int) int {
+	x := mod61(uint64(v))
+	return int(mod61(mulMod61(h.a, x)+h.b) % uint64(h.g))
+}
+
+// IndexString implements Hash.
+func (h CarterWegmanHash) IndexString(v string) int {
+	// Fold the string into the field with a polynomial in a, then finish
+	// with the affine step; still a universal construction for strings.
+	var acc uint64
+	for i := 0; i < len(v); i++ {
+		acc = mod61(mulMod61(acc, h.a) + uint64(v[i]) + 1)
+	}
+	return int(mod61(mulMod61(h.a, acc)+h.b) % uint64(h.g))
+}
+
+// G implements Hash.
+func (h CarterWegmanHash) G() int { return h.g }
+
+// Seed implements Hash.
+func (h CarterWegmanHash) Seed() uint64 { return h.seed }
+
+// mod61 reduces x modulo 2^61 − 1 for x < 2^62 (sufficient after mulMod61
+// and small additions).
+func mod61(x uint64) uint64 {
+	x = (x & mersenne61) + (x >> 61)
+	if x >= mersenne61 {
+		x -= mersenne61
+	}
+	return x
+}
+
+// mulMod61 computes (a*b) mod (2^61 − 1) using a 128-bit product.
+func mulMod61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a*b = hi·2^64 + lo ≡ hi·8 + (lo >> 61) + (lo mod 2^61) (mod 2^61−1).
+	// With a, b < 2^61 the sum stays below 2^62, which mod61 accepts.
+	return mod61((hi << 3) + (lo >> 61) + (lo & mersenne61))
+}

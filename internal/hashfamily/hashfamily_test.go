@@ -1,0 +1,246 @@
+package hashfamily
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"github.com/loloha-ldp/loloha/internal/randsrc"
+)
+
+func families(g int) []Family {
+	return []Family{NewSplitMixFamily(g), NewCarterWegmanFamily(g)}
+}
+
+func TestRange(t *testing.T) {
+	r := randsrc.NewSeeded(1)
+	for _, g := range []int{2, 3, 7, 16} {
+		for _, fam := range families(g) {
+			h := fam.New(r)
+			if h.G() != g {
+				t.Fatalf("%s: G() = %d, want %d", fam.Name(), h.G(), g)
+			}
+			for v := 0; v < 5000; v++ {
+				x := h.Index(v)
+				if x < 0 || x >= g {
+					t.Fatalf("%s: Index(%d) = %d out of [0,%d)", fam.Name(), v, x, g)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterministicAndSeedRoundTrip(t *testing.T) {
+	r := randsrc.NewSeeded(2)
+	for _, fam := range families(4) {
+		h := fam.New(r)
+		h2 := fam.FromSeed(h.Seed())
+		for v := 0; v < 1000; v++ {
+			if h.Index(v) != h2.Index(v) {
+				t.Fatalf("%s: FromSeed(Seed()) disagrees at v=%d", fam.Name(), v)
+			}
+		}
+		if h.IndexString("hello") != h2.IndexString("hello") {
+			t.Fatalf("%s: FromSeed(Seed()) disagrees on strings", fam.Name())
+		}
+	}
+}
+
+func TestUniversality(t *testing.T) {
+	// For random pairs v1 != v2, Pr[h(v1) == h(v2)] over the family must be
+	// close to (at most, for CW) 1/g. We estimate with 20000 members.
+	r := randsrc.NewSeeded(3)
+	for _, g := range []int{2, 8} {
+		for _, fam := range families(g) {
+			const members = 20000
+			pairs := [][2]int{{0, 1}, {5, 999}, {123456, 123457}, {7, 7000000}}
+			for _, pair := range pairs {
+				coll := 0
+				for i := 0; i < members; i++ {
+					h := fam.New(r)
+					if h.Index(pair[0]) == h.Index(pair[1]) {
+						coll++
+					}
+				}
+				got := float64(coll) / members
+				want := 1.0 / float64(g)
+				// 6-sigma binomial tolerance.
+				tol := 6 * math.Sqrt(want*(1-want)/members)
+				if got > want+tol {
+					t.Errorf("%s g=%d pair %v: collision rate %v exceeds 1/g=%v (+%v)",
+						fam.Name(), g, pair, got, want, tol)
+				}
+				if got < want-tol {
+					t.Logf("%s g=%d pair %v: collision rate %v below 1/g (fine for CW)",
+						fam.Name(), g, pair, got)
+				}
+			}
+		}
+	}
+}
+
+func TestOutputBalance(t *testing.T) {
+	// A single member should spread a large input domain evenly over [0..g).
+	r := randsrc.NewSeeded(4)
+	for _, g := range []int{2, 5, 16} {
+		for _, fam := range families(g) {
+			h := fam.New(r)
+			const domain = 60000
+			counts := make([]int, g)
+			for v := 0; v < domain; v++ {
+				counts[h.Index(v)]++
+			}
+			want := float64(domain) / float64(g)
+			for cell, c := range counts {
+				if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+					t.Errorf("%s g=%d: cell %d holds %d of %d, want ~%v",
+						fam.Name(), g, cell, c, domain, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDistinctSeedsDistinctFunctions(t *testing.T) {
+	r := randsrc.NewSeeded(5)
+	for _, fam := range families(8) {
+		a, b := fam.New(r), fam.New(r)
+		same := 0
+		for v := 0; v < 1000; v++ {
+			if a.Index(v) == b.Index(v) {
+				same++
+			}
+		}
+		// Two random functions to [0..8) agree on ~1/8 of inputs.
+		if same > 300 {
+			t.Errorf("%s: two fresh members agree on %d/1000 inputs", fam.Name(), same)
+		}
+	}
+}
+
+func TestStringHashingConsistent(t *testing.T) {
+	r := randsrc.NewSeeded(6)
+	for _, fam := range families(4) {
+		h := fam.New(r)
+		words := []string{"", "a", "b", "ab", "ba", "hello", "world", "hello world"}
+		for _, w := range words {
+			x := h.IndexString(w)
+			if x < 0 || x >= 4 {
+				t.Fatalf("%s: IndexString(%q) = %d out of range", fam.Name(), w, x)
+			}
+			if x != h.IndexString(w) {
+				t.Fatalf("%s: IndexString(%q) not deterministic", fam.Name(), w)
+			}
+		}
+		// "ab" vs "ba" should not systematically collide across members.
+		coll := 0
+		for i := 0; i < 2000; i++ {
+			m := fam.New(r)
+			if m.IndexString("ab") == m.IndexString("ba") {
+				coll++
+			}
+		}
+		if coll > 700 { // ~1/4 expected = 500
+			t.Errorf("%s: order-insensitive string hashing (%d/2000 collisions)", fam.Name(), coll)
+		}
+	}
+}
+
+func TestPanicsOnSmallG(t *testing.T) {
+	for _, g := range []int{-1, 0, 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSplitMixFamily(%d) did not panic", g)
+				}
+			}()
+			NewSplitMixFamily(g)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCarterWegmanFamily(%d) did not panic", g)
+				}
+			}()
+			NewCarterWegmanFamily(g)
+		}()
+	}
+}
+
+func TestMod61AgainstBigInt(t *testing.T) {
+	p := big.NewInt(mersenne61)
+	f := func(x uint64) bool {
+		if x >= 1<<62 {
+			x >>= 2 // mod61's contract is x < 2^62
+		}
+		want := new(big.Int).Mod(new(big.Int).SetUint64(x), p).Uint64()
+		return mod61(x) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulMod61AgainstBigInt(t *testing.T) {
+	p := big.NewInt(mersenne61)
+	f := func(a, b uint64) bool {
+		a %= mersenne61
+		b %= mersenne61
+		ab := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		want := ab.Mod(ab, p).Uint64()
+		return mulMod61(a, b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCarterWegmanPairwiseCollisionBound(t *testing.T) {
+	// The defining property: for fixed v1 != v2 < p, over a uniform (a,b)
+	// the collision probability of the field step is exactly 1/p per target
+	// pair, hence after mod g at most ~1/g. Verified empirically above; here
+	// we check that a and b derived from seeds are in range.
+	fam := NewCarterWegmanFamily(3)
+	r := randsrc.NewSeeded(7)
+	for i := 0; i < 1000; i++ {
+		h := fam.New(r).(CarterWegmanHash)
+		if h.a < 1 || h.a >= mersenne61 {
+			t.Fatalf("a = %d out of [1, p)", h.a)
+		}
+		if h.b >= mersenne61 {
+			t.Fatalf("b = %d out of [0, p)", h.b)
+		}
+	}
+}
+
+func TestReduceQuick(t *testing.T) {
+	f := func(w uint64, gRaw uint8) bool {
+		g := int(gRaw%30) + 2
+		x := reduce(w, g)
+		return x >= 0 && x < g
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSplitMixIndex(b *testing.B) {
+	h := NewSplitMixFamily(16).FromSeed(12345)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += h.Index(i)
+	}
+	benchSink = sink
+}
+
+func BenchmarkCarterWegmanIndex(b *testing.B) {
+	h := NewCarterWegmanFamily(16).FromSeed(12345)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += h.Index(i)
+	}
+	benchSink = sink
+}
+
+var benchSink int

@@ -1,0 +1,154 @@
+// Package heavyhitter tracks the heavy hitters of an evolving distribution
+// from the per-round estimates of a longitudinal LDP protocol. Frequency
+// oracles are the standard building block for heavy-hitter identification
+// (the paper's §2.3 cites this as a primary application); this package adds
+// the monitoring-side machinery: exponential smoothing to suppress LDP
+// noise across rounds, a detection threshold grounded in the estimator's
+// variance, and hysteresis so hitters do not flap at the threshold.
+package heavyhitter
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/loloha-ldp/loloha/internal/longitudinal"
+)
+
+// Hitter is one detected heavy hitter.
+type Hitter struct {
+	// Value is the domain index.
+	Value int
+	// Freq is the smoothed frequency estimate.
+	Freq float64
+	// Since is the round (0-based) at which the value last became a
+	// hitter.
+	Since int
+}
+
+// Tracker folds per-round estimates into smoothed frequencies and
+// maintains the heavy-hitter set.
+type Tracker struct {
+	k         int
+	threshold float64
+	// exit is the hysteresis threshold: a current hitter is only dropped
+	// once its smoothed frequency falls below exit (< threshold).
+	exit     float64
+	alpha    float64 // EWMA weight of the newest round
+	smoothed []float64
+	active   map[int]int // value -> round it became active
+	rounds   int
+}
+
+// Config parameterizes a Tracker.
+type Config struct {
+	// K is the domain size.
+	K int
+	// Threshold is the smoothed frequency at which a value becomes a
+	// heavy hitter.
+	Threshold float64
+	// Hysteresis is the fraction of Threshold below which a hitter is
+	// dropped (default 0.8; must be in (0, 1]).
+	Hysteresis float64
+	// Alpha is the EWMA weight of the newest round in (0, 1]; 1 disables
+	// smoothing (default 0.3).
+	Alpha float64
+}
+
+// New returns a Tracker.
+func New(cfg Config) (*Tracker, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("heavyhitter: K must be positive, got %d", cfg.K)
+	}
+	if !(cfg.Threshold > 0) || cfg.Threshold >= 1 {
+		return nil, fmt.Errorf("heavyhitter: threshold must be in (0,1), got %v", cfg.Threshold)
+	}
+	if cfg.Hysteresis == 0 {
+		cfg.Hysteresis = 0.8
+	}
+	if cfg.Hysteresis <= 0 || cfg.Hysteresis > 1 {
+		return nil, fmt.Errorf("heavyhitter: hysteresis must be in (0,1], got %v", cfg.Hysteresis)
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.3
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("heavyhitter: alpha must be in (0,1], got %v", cfg.Alpha)
+	}
+	return &Tracker{
+		k:         cfg.K,
+		threshold: cfg.Threshold,
+		exit:      cfg.Threshold * cfg.Hysteresis,
+		alpha:     cfg.Alpha,
+		smoothed:  make([]float64, cfg.K),
+		active:    make(map[int]int),
+	}, nil
+}
+
+// Observe folds one round of estimates in. It panics if the estimate
+// vector has the wrong length (a protocol mismatch, not noise).
+func (t *Tracker) Observe(est []float64) {
+	if len(est) != t.k {
+		panic(fmt.Sprintf("heavyhitter: got %d estimates, want %d", len(est), t.k))
+	}
+	for v, e := range est {
+		if t.rounds == 0 {
+			t.smoothed[v] = e
+		} else {
+			t.smoothed[v] = t.alpha*e + (1-t.alpha)*t.smoothed[v]
+		}
+	}
+	for v, s := range t.smoothed {
+		_, isActive := t.active[v]
+		switch {
+		case !isActive && s >= t.threshold:
+			t.active[v] = t.rounds
+		case isActive && s < t.exit:
+			delete(t.active, v)
+		}
+	}
+	t.rounds++
+}
+
+// Rounds returns the number of rounds observed.
+func (t *Tracker) Rounds() int { return t.rounds }
+
+// Smoothed returns a copy of the smoothed frequency vector.
+func (t *Tracker) Smoothed() []float64 {
+	return append([]float64(nil), t.smoothed...)
+}
+
+// HeavyHitters returns the current hitters sorted by descending smoothed
+// frequency (ties by value).
+func (t *Tracker) HeavyHitters() []Hitter {
+	out := make([]Hitter, 0, len(t.active))
+	for v, since := range t.active {
+		out = append(out, Hitter{Value: v, Freq: t.smoothed[v], Since: since})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Freq != out[j].Freq {
+			return out[i].Freq > out[j].Freq
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Threshold guidance.
+
+// NoiseFloor returns the standard deviation of a single-round estimate of
+// a rare value under the given chain parameters — thresholds materially
+// below it will fire on noise. With EWMA smoothing over many rounds the
+// effective floor shrinks by sqrt(alpha/(2-alpha)).
+func NoiseFloor(params longitudinal.ChainParams, n int) float64 {
+	return math.Sqrt(params.ApproxVariance(n))
+}
+
+// SuggestedThreshold returns a threshold z noise-floors above zero for the
+// smoothed series: z·sd·sqrt(alpha/(2−alpha)). z = 3 gives ~0.1% false
+// positives per value per round under a normal approximation.
+func SuggestedThreshold(params longitudinal.ChainParams, n int, alpha, z float64) float64 {
+	sd := NoiseFloor(params, n)
+	return z * sd * math.Sqrt(alpha/(2-alpha))
+}

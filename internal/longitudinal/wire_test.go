@@ -1,0 +1,117 @@
+package longitudinal
+
+import (
+	"math"
+	"testing"
+
+	"github.com/loloha-ldp/loloha/internal/randsrc"
+)
+
+func TestUEReportWireRoundTrip(t *testing.T) {
+	p, err := NewRAPPOR(100, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := p.NewClient(1)
+	for i := 0; i < 20; i++ {
+		rep := cl.Report(i % 100).(UEReport)
+		buf := rep.AppendBinary(nil)
+		got, rest, err := DecodeUEReport(buf, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("leftover %d bytes", len(rest))
+		}
+		if !got.Bits.Equal(rep.Bits) {
+			t.Fatal("UE wire round trip mismatch")
+		}
+	}
+}
+
+func TestGRRValueReportWireRoundTrip(t *testing.T) {
+	p, err := NewLGRR(300, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := p.NewClient(2)
+	for i := 0; i < 50; i++ {
+		rep := cl.Report(i % 300).(GRRValueReport)
+		buf := rep.AppendBinary(nil)
+		got, rest, err := DecodeGRRValueReport(buf, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rest) != 0 || got.X != rep.X || got.K != 300 {
+			t.Fatalf("round trip: got %+v want %+v", got, rep)
+		}
+	}
+}
+
+func TestDBitReportWireRoundTrip(t *testing.T) {
+	p, err := NewDBitFlipPM(100, 20, 9, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := p.NewClient(3)
+	first := cl.Report(5).(DBitReport)
+	buf := first.AppendBinary(nil)
+	if len(buf) != 2 { // 9 bits -> 2 bytes
+		t.Fatalf("encoded %d bytes, want 2", len(buf))
+	}
+	got, rest, err := DecodeDBitReport(buf, first.Sampled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("leftover %d bytes", len(rest))
+	}
+	if !got.Equal(first) {
+		t.Fatal("dBit wire round trip mismatch")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeUEReport(make([]byte, 1), 100); err == nil {
+		t.Error("short UE buffer accepted")
+	}
+	if _, _, err := DecodeGRRValueReport(nil, 300); err == nil {
+		t.Error("short GRR buffer accepted")
+	}
+	if _, _, err := DecodeDBitReport(nil, []int{1, 2, 3}); err == nil {
+		t.Error("short dBit buffer accepted")
+	}
+	if _, _, err := DecodeDBitReport([]byte{0}, nil); err == nil {
+		t.Error("empty sampled set accepted")
+	}
+}
+
+func TestWireAggregationEquivalence(t *testing.T) {
+	// Feeding an aggregator through encode→decode must produce estimates
+	// identical to feeding reports directly — the full production path.
+	const k, n = 50, 2000
+	p, err := NewLOSUE(k, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := p.NewAggregator()
+	viaWire := p.NewAggregator()
+	r := randsrc.NewSeeded(4)
+	for u := 0; u < n; u++ {
+		cl := p.NewClient(uint64(u))
+		rep := cl.Report(r.Intn(k))
+		direct.Add(u, rep)
+		buf := rep.AppendBinary(nil)
+		decoded, _, err := DecodeUEReport(buf, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaWire.Add(u, decoded)
+	}
+	a, b := direct.EndRound(), viaWire.EndRound()
+	for v := range a {
+		if math.Abs(a[v]-b[v]) > 1e-15 {
+			t.Fatalf("estimates diverge at v=%d: %v vs %v", v, a[v], b[v])
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package postprocess implements server-side estimate post-processing for
+// LDP frequency oracles. The paper reports raw unbiased estimates (Eq. (1)
+// and Eq. (3)); it is well known that enforcing the simplex constraints —
+// estimates are frequencies, so they are non-negative and sum to one —
+// can only help squared error. By the post-processing property of LDP
+// (Proposition 2.2) none of these transforms costs any privacy.
+//
+// Three standard methods are provided (this is an extension relative to
+// the paper; the benches quantify its effect):
+//
+//   - Clip: clamp to [0, 1] coordinate-wise (biased, cheap).
+//   - Normalize: clip then rescale to sum one (the classic RAPPOR
+//     post-step).
+//   - SimplexProject: Euclidean projection onto the probability simplex
+//     (Duchi et al.'s algorithm) — the L2-optimal feasible point.
+package postprocess
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Method selects a post-processing transform.
+type Method int
+
+const (
+	// None returns estimates unchanged (the paper's setting).
+	None Method = iota
+	// Clip clamps each estimate to [0, 1].
+	Clip
+	// Normalize clips to non-negative and rescales to sum 1.
+	Normalize
+	// SimplexProject computes the Euclidean projection onto the simplex.
+	SimplexProject
+)
+
+// String returns the method name.
+func (m Method) String() string {
+	switch m {
+	case None:
+		return "none"
+	case Clip:
+		return "clip"
+	case Normalize:
+		return "normalize"
+	case SimplexProject:
+		return "simplex"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Apply transforms the estimates in place and returns them. The input is a
+// raw (possibly negative, possibly not normalized) frequency-estimate
+// vector.
+func Apply(m Method, est []float64) []float64 {
+	switch m {
+	case None:
+		return est
+	case Clip:
+		for i, v := range est {
+			if v < 0 {
+				est[i] = 0
+			} else if v > 1 {
+				est[i] = 1
+			}
+		}
+		return est
+	case Normalize:
+		sum := 0.0
+		for i, v := range est {
+			if v < 0 {
+				est[i] = 0
+			} else {
+				sum += v
+			}
+		}
+		if sum > 0 {
+			for i := range est {
+				est[i] /= sum
+			}
+		}
+		return est
+	case SimplexProject:
+		return projectSimplex(est)
+	default:
+		panic(fmt.Sprintf("postprocess: unknown method %d", int(m)))
+	}
+}
+
+// projectSimplex computes the Euclidean projection of est onto
+// {x : x_i >= 0, Σx_i = 1} in place (Duchi, Shalev-Shwartz, Singer,
+// Chandra 2008: sort, find the threshold, shift and clip).
+func projectSimplex(est []float64) []float64 {
+	n := len(est)
+	if n == 0 {
+		return est
+	}
+	sorted := make([]float64, n)
+	copy(sorted, est)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+
+	cum := 0.0
+	rho, theta := -1, 0.0
+	for i, v := range sorted {
+		cum += v
+		t := (cum - 1) / float64(i+1)
+		if v-t > 0 {
+			rho, theta = i, t
+		}
+	}
+	if rho < 0 {
+		// All mass below threshold: degenerate input; put uniform mass.
+		for i := range est {
+			est[i] = 1 / float64(n)
+		}
+		return est
+	}
+	for i, v := range est {
+		if v-theta > 0 {
+			est[i] = v - theta
+		} else {
+			est[i] = 0
+		}
+	}
+	return est
+}
+
+// Methods lists all transforms in presentation order.
+func Methods() []Method { return []Method{None, Clip, Normalize, SimplexProject} }

@@ -1,0 +1,216 @@
+package postprocess
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/loloha-ldp/loloha/internal/randsrc"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNoneIsIdentity(t *testing.T) {
+	in := []float64{-0.5, 0.3, 1.7}
+	out := Apply(None, append([]float64(nil), in...))
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("None changed the input at %d", i)
+		}
+	}
+}
+
+func TestClip(t *testing.T) {
+	out := Apply(Clip, []float64{-0.5, 0.3, 1.7, 0})
+	want := []float64{0, 0.3, 1, 0}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("clip[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestNormalizeSumsToOne(t *testing.T) {
+	out := Apply(Normalize, []float64{-0.2, 0.3, 0.9})
+	sum := 0.0
+	for _, v := range out {
+		if v < 0 {
+			t.Errorf("negative after normalize: %v", v)
+		}
+		sum += v
+	}
+	if !almostEqual(sum, 1) {
+		t.Errorf("normalized sum %v", sum)
+	}
+	if out[0] != 0 {
+		t.Errorf("negative entry should clip to 0, got %v", out[0])
+	}
+	// 0.3/1.2 and 0.9/1.2.
+	if !almostEqual(out[1], 0.25) || !almostEqual(out[2], 0.75) {
+		t.Errorf("normalize proportions wrong: %v", out)
+	}
+}
+
+func TestNormalizeAllNegative(t *testing.T) {
+	out := Apply(Normalize, []float64{-1, -2})
+	for _, v := range out {
+		if v != 0 {
+			t.Errorf("all-negative input should yield zeros, got %v", out)
+		}
+	}
+}
+
+func TestSimplexProjectBasic(t *testing.T) {
+	// Already on the simplex: unchanged.
+	out := Apply(SimplexProject, []float64{0.2, 0.3, 0.5})
+	want := []float64{0.2, 0.3, 0.5}
+	for i := range want {
+		if !almostEqual(out[i], want[i]) {
+			t.Errorf("projection moved a feasible point: %v", out)
+		}
+	}
+}
+
+func TestSimplexProjectProperties(t *testing.T) {
+	r := randsrc.NewSeeded(3)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(30)
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = (r.Float64() - 0.4) * 3 // mix of negatives and positives
+		}
+		out := Apply(SimplexProject, append([]float64(nil), in...))
+		sum := 0.0
+		for _, v := range out {
+			if v < -1e-12 {
+				t.Fatalf("negative coordinate %v", v)
+			}
+			sum += v
+		}
+		if !almostEqual(sum, 1) {
+			t.Fatalf("projected sum %v", sum)
+		}
+	}
+}
+
+func TestSimplexProjectIsClosestPoint(t *testing.T) {
+	// The projection must beat (or match) any other feasible candidate in
+	// L2 distance; compare against a few heuristic candidates.
+	in := []float64{0.9, -0.3, 0.5, 0.1}
+	proj := Apply(SimplexProject, append([]float64(nil), in...))
+	dProj := l2(in, proj)
+	candidates := [][]float64{
+		{0.25, 0.25, 0.25, 0.25},
+		{1, 0, 0, 0},
+		Apply(Normalize, append([]float64(nil), in...)),
+	}
+	for _, c := range candidates {
+		if d := l2(in, c); d < dProj-1e-9 {
+			t.Errorf("candidate %v closer (%v) than projection %v (%v)", c, d, proj, dProj)
+		}
+	}
+}
+
+func TestSimplexProjectQuickSumInvariant(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		in := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			in = append(in, math.Mod(v, 5))
+		}
+		if len(in) == 0 {
+			return true
+		}
+		out := Apply(SimplexProject, in)
+		sum := 0.0
+		for _, v := range out {
+			if v < -1e-9 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPostProcessingReducesMSEOnSparseEstimates(t *testing.T) {
+	// A realistic scenario: true histogram concentrated on few values,
+	// noisy unbiased estimates everywhere. All three transforms should
+	// reduce MSE relative to None.
+	r := randsrc.NewSeeded(7)
+	const k = 200
+	truth := make([]float64, k)
+	truth[0], truth[1], truth[2] = 0.5, 0.3, 0.2
+	mseBy := map[Method]float64{}
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		noisy := make([]float64, k)
+		for v := range noisy {
+			noisy[v] = truth[v] + (r.Float64()-0.5)*0.1
+		}
+		for _, m := range Methods() {
+			est := Apply(m, append([]float64(nil), noisy...))
+			s := 0.0
+			for v := range est {
+				d := est[v] - truth[v]
+				s += d * d
+			}
+			mseBy[m] += s / k / trials
+		}
+	}
+	// Clip and the simplex projection can only move estimates toward the
+	// feasible set and must help; Normalize's rescale is workload-dependent
+	// (it can distort heavy bins under dense noise), so it is only logged.
+	for _, m := range []Method{Clip, SimplexProject} {
+		if mseBy[m] >= mseBy[None] {
+			t.Errorf("%v MSE %v not below raw %v", m, mseBy[m], mseBy[None])
+		}
+	}
+	t.Logf("MSE by method: none=%.3e clip=%.3e normalize=%.3e simplex=%.3e",
+		mseBy[None], mseBy[Clip], mseBy[Normalize], mseBy[SimplexProject])
+	// The simplex projection is the L2-optimal feasible point; it should
+	// be the best of the three here.
+	if mseBy[SimplexProject] > mseBy[Clip]+1e-12 {
+		t.Errorf("simplex %v worse than clip %v", mseBy[SimplexProject], mseBy[Clip])
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	names := map[Method]string{
+		None: "none", Clip: "clip", Normalize: "normalize", SimplexProject: "simplex",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+	if Method(99).String() != "Method(99)" {
+		t.Errorf("unknown method string %q", Method(99).String())
+	}
+}
+
+func TestApplyPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown method did not panic")
+		}
+	}()
+	Apply(Method(99), []float64{1})
+}
+
+func l2(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,268 @@
+// Package randsrc provides the deterministic randomness substrate used by
+// every protocol in this repository.
+//
+// All randomized mechanisms (GRR, unary encoding, local hashing, memoization)
+// consume uniform 64-bit words from a Source. Two generators are provided:
+//
+//   - SplitMix64: a tiny, fast, splittable generator. Its output function is
+//     also used as the stateless PRF behind memoization (see Derive).
+//   - PCG: permuted congruential generator (128-bit state, XSL-RR output),
+//     the default stream generator.
+//
+// Sources are deliberately not safe for concurrent use; the simulation layer
+// gives each worker its own stream via Split, which produces statistically
+// independent child streams.
+package randsrc
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic stream of uniform 64-bit words.
+type Source interface {
+	// Uint64 returns the next uniformly distributed 64-bit word.
+	Uint64() uint64
+}
+
+// golden64 is the SplitMix64 increment (odd, derived from the golden ratio).
+const golden64 = 0x9E3779B97F4A7C15
+
+// mix64 is the SplitMix64 finalizer: a bijective scrambler with full
+// avalanche. It is the workhorse PRF used for stateless memoization.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Mix64 exposes the SplitMix64 finalizer for other packages (hash families,
+// PRF-based memoization). It is a bijection on uint64.
+func Mix64(z uint64) uint64 { return mix64(z) }
+
+// Derive combines a seed with an arbitrary number of discriminator words into
+// a new 64-bit value with full avalanche. It is the PRF used to implement
+// stateless memoization: Derive(seed, w, i) plays the role of "the random word
+// memoized for value w at coordinate i".
+func Derive(seed uint64, words ...uint64) uint64 {
+	z := seed
+	for _, w := range words {
+		z = mix64(z + golden64 + w*0xD6E8FEB86659FD93)
+	}
+	return mix64(z + golden64)
+}
+
+// StreamWord returns the i-th word of the deterministic stream anchored at
+// base: the SplitMix64 sequence seeded with base, evaluated at offset i
+// without materializing the generator. It is the cheap inner loop of
+// PRF-based memoization — callers derive base once per memoized unit via
+// Derive and then read as many words as the unit needs.
+func StreamWord(base uint64, i int) uint64 {
+	return mix64(base + golden64*uint64(i+1))
+}
+
+// SplitMix64 is a splittable PRNG with 64 bits of state.
+type SplitMix64 struct{ state uint64 }
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Uint64 returns the next word of the stream.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += golden64
+	return mix64(s.state)
+}
+
+// Split returns a child generator whose stream is independent of the
+// parent's future output.
+func (s *SplitMix64) Split() *SplitMix64 {
+	return &SplitMix64{state: mix64(s.Uint64())}
+}
+
+// PCG is a PCG XSL-RR 128/64 generator: 128-bit LCG state with a 64-bit
+// output permutation. It passes the usual statistical batteries and is the
+// default stream generator for simulations.
+type PCG struct {
+	hi, lo uint64
+}
+
+// pcgMulHi/pcgMulLo form the 128-bit LCG multiplier used by PCG 128.
+const (
+	pcgMulHi = 2549297995355413924
+	pcgMulLo = 4865540595714422341
+	pcgIncHi = 6364136223846793005
+	pcgIncLo = 1442695040888963407
+)
+
+// NewPCG returns a PCG seeded from seed via SplitMix64 (so that nearby seeds
+// yield unrelated streams).
+func NewPCG(seed uint64) *PCG {
+	sm := NewSplitMix64(seed)
+	p := &PCG{hi: sm.Uint64(), lo: sm.Uint64()}
+	p.step()
+	return p
+}
+
+func (p *PCG) step() {
+	// state = state*mul + inc (128-bit arithmetic).
+	hi, lo := bits.Mul64(p.lo, pcgMulLo)
+	hi += p.hi*pcgMulLo + p.lo*pcgMulHi
+	lo, c := bits.Add64(lo, pcgIncLo, 0)
+	hi, _ = bits.Add64(hi, pcgIncHi, c)
+	p.hi, p.lo = hi, lo
+}
+
+// Uint64 returns the next word of the stream.
+func (p *PCG) Uint64() uint64 {
+	// XSL-RR output function.
+	out := bits.RotateLeft64(p.hi^p.lo, -int(p.hi>>58))
+	p.step()
+	return out
+}
+
+// Split returns a child generator seeded from the parent stream.
+func (p *PCG) Split() *PCG { return NewPCG(p.Uint64()) }
+
+// Rand couples a Source with the distribution helpers protocols need.
+// The zero value is not usable; construct with New.
+type Rand struct {
+	src Source
+}
+
+// New returns a Rand drawing from src.
+func New(src Source) *Rand { return &Rand{src: src} }
+
+// NewSeeded returns a Rand over a fresh PCG stream seeded with seed.
+func NewSeeded(seed uint64) *Rand { return New(NewPCG(seed)) }
+
+// Uint64 returns the next raw word.
+func (r *Rand) Uint64() uint64 { return r.src.Uint64() }
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.src.Uint64()>>11) * 0x1p-53
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Uses Lemire's nearly-divisionless bounded sampling.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("randsrc: Intn with non-positive n")
+	}
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.src.Uint64(), un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.src.Uint64(), un)
+		}
+	}
+	return int(hi)
+}
+
+// IntnOther returns a uniform integer in [0, n) \ {excluded}. It panics if
+// n < 2 or excluded is outside [0, n). This is the exogenous-noise draw
+// η≠v used by generalized randomized response.
+func (r *Rand) IntnOther(n, excluded int) int {
+	if n < 2 {
+		panic("randsrc: IntnOther needs a domain of at least 2")
+	}
+	if excluded < 0 || excluded >= n {
+		panic("randsrc: IntnOther excluded value out of range")
+	}
+	v := r.Intn(n - 1)
+	if v >= excluded {
+		v++
+	}
+	return v
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (r *Rand) Bernoulli(p float64) bool {
+	return r.src.Uint64() < BernoulliThreshold(p)
+}
+
+// BernoulliThreshold precomputes the 64-bit threshold for Bernoulli(p):
+// a uniform word w satisfies w < threshold with probability p (up to 2^-64).
+// Computing the threshold once and comparing raw words is the hot path for
+// unary-encoding protocols that flip thousands of bits per report.
+func BernoulliThreshold(p float64) uint64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return ^uint64(0)
+	default:
+		// p * 2^64, computed without overflow: p * 2^32 * 2^32.
+		hi := uint64(p * 0x1p32)
+		frac := p*0x1p32 - float64(hi)
+		return hi<<32 + uint64(frac*0x1p32)
+	}
+}
+
+// BernoulliWord reports whether the raw word w falls under the precomputed
+// threshold t, i.e. draws Bernoulli(p) from an externally supplied word.
+func BernoulliWord(w, t uint64) bool { return w < t }
+
+// Perm fills out with a uniform permutation of [0..len(out)).
+func (r *Rand) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	r.Shuffle(out)
+}
+
+// Shuffle permutes s uniformly (Fisher–Yates).
+func (r *Rand) Shuffle(s []int) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// SampleWithoutReplacement returns d distinct integers drawn uniformly from
+// [0, n), in random order. It panics if d > n or d < 0. This is the bucket
+// sampling step of dBitFlipPM (draw d of b buckets without replacement).
+func (r *Rand) SampleWithoutReplacement(n, d int) []int {
+	if d < 0 || d > n {
+		panic("randsrc: SampleWithoutReplacement with d out of range")
+	}
+	if d == 0 {
+		return nil
+	}
+	// Partial Fisher–Yates via a sparse map: O(d) time and space.
+	swapped := make(map[int]int, d)
+	out := make([]int, d)
+	for i := 0; i < d; i++ {
+		j := i + r.Intn(n-i)
+		vj, ok := swapped[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := swapped[i]
+		if !ok {
+			vi = i
+		}
+		out[i] = vj
+		swapped[j] = vi
+	}
+	return out
+}
+
+// Geometric returns a sample from the geometric distribution on {0,1,2,...}
+// with success probability p: the number of failures before the first
+// success. Used for skip-sampling sparse bit flips. Panics if p <= 0 or p > 1.
+func (r *Rand) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("randsrc: Geometric needs p in (0,1]")
+	}
+	if p == 1 {
+		return 0
+	}
+	// Inversion: floor(log(U) / log(1-p)), guarding U=0.
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return int(math.Log(u) / math.Log(1-p))
+}

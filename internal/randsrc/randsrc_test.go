@@ -1,0 +1,435 @@
+package randsrc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownVectors(t *testing.T) {
+	// Reference values for SplitMix64 seeded with 1234567
+	// (from the public-domain reference implementation by Vigna).
+	s := NewSplitMix64(1234567)
+	want := []uint64{
+		6457827717110365317,
+		3203168211198807973,
+		9817491932198370423,
+		4593380528125082431,
+		16408922859458223821,
+	}
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Fatalf("SplitMix64(1234567) word %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// A bijection maps distinct inputs to distinct outputs; spot-check a
+	// window plus the boundary values.
+	seen := make(map[uint64]uint64, 4100)
+	check := func(x uint64) {
+		y := Mix64(x)
+		if prev, dup := seen[y]; dup {
+			t.Fatalf("Mix64 collision: Mix64(%d) == Mix64(%d) == %d", x, prev, y)
+		}
+		seen[y] = x
+	}
+	for x := uint64(0); x < 2048; x++ {
+		check(x)
+	}
+	for x := ^uint64(0); x > ^uint64(0)-2048; x-- {
+		check(x)
+	}
+}
+
+func TestDeriveDiscriminates(t *testing.T) {
+	// Different discriminator words must yield different PRF outputs
+	// (overwhelmingly); identical inputs must be deterministic.
+	const seed = 42
+	if Derive(seed, 1, 2) != Derive(seed, 1, 2) {
+		t.Fatal("Derive is not deterministic")
+	}
+	if Derive(seed, 1, 2) == Derive(seed, 2, 1) {
+		t.Error("Derive ignores word order")
+	}
+	if Derive(seed, 1) == Derive(seed+1, 1) {
+		t.Error("Derive ignores seed")
+	}
+	seen := make(map[uint64]bool, 10000)
+	for w := uint64(0); w < 10000; w++ {
+		v := Derive(seed, w)
+		if seen[v] {
+			t.Fatalf("Derive collision within 10k consecutive words (w=%d)", w)
+		}
+		seen[v] = true
+	}
+}
+
+func TestStreamWordMatchesSplitMix(t *testing.T) {
+	// StreamWord(base, i) must equal the (i+1)-th output of a SplitMix64
+	// generator seeded with base.
+	const base = 0xDEADBEEF12345678
+	s := NewSplitMix64(base)
+	for i := 0; i < 100; i++ {
+		if got, want := StreamWord(base, i), s.Uint64(); got != want {
+			t.Fatalf("StreamWord(base,%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestStreamWordIndependentAcrossBases(t *testing.T) {
+	agree := 0
+	for i := 0; i < 10000; i++ {
+		if StreamWord(1, i)&1 == StreamWord(2, i)&1 {
+			agree++
+		}
+	}
+	if agree < 4700 || agree > 5300 {
+		t.Errorf("streams from different bases agree on %d/10000 low bits", agree)
+	}
+}
+
+func TestPCGDeterminismAndSplit(t *testing.T) {
+	a, b := NewPCG(7), NewPCG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("PCG streams with equal seeds diverged")
+		}
+	}
+	c := a.Split()
+	// The child stream must differ from the parent's continuation.
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("parent and split child emitted %d identical words of 64", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewSeeded(99)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewSeeded(5)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	// Standard error is 1/sqrt(12 n) ~ 0.00065; allow 6 sigma.
+	if math.Abs(mean-0.5) > 0.004 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := NewSeeded(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		// Binomial sd ~ sqrt(draws * p(1-p)) ~ 95; allow 6 sigma.
+		if math.Abs(float64(c)-want) > 600 {
+			t.Errorf("Intn(%d): value %d drawn %d times, want ~%v", n, v, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewSeeded(1).Intn(0)
+}
+
+func TestIntnOtherExcludes(t *testing.T) {
+	r := NewSeeded(3)
+	const n, excluded = 7, 4
+	counts := make([]int, n)
+	for i := 0; i < 60000; i++ {
+		v := r.IntnOther(n, excluded)
+		if v == excluded {
+			t.Fatal("IntnOther returned the excluded value")
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if v == excluded {
+			continue
+		}
+		if math.Abs(float64(c)-10000) > 700 {
+			t.Errorf("IntnOther: value %d drawn %d times, want ~10000", v, c)
+		}
+	}
+}
+
+func TestIntnOtherQuick(t *testing.T) {
+	r := NewSeeded(17)
+	f := func(nRaw uint8, exRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		excluded := int(exRaw) % n
+		v := r.IntnOther(n, excluded)
+		return v >= 0 && v < n && v != excluded
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBernoulliThresholdEdges(t *testing.T) {
+	if BernoulliThreshold(0) != 0 {
+		t.Error("threshold(0) must be 0")
+	}
+	if BernoulliThreshold(-1) != 0 {
+		t.Error("threshold(<0) must be 0")
+	}
+	if BernoulliThreshold(1) != ^uint64(0) {
+		t.Error("threshold(1) must be max")
+	}
+	if BernoulliThreshold(2) != ^uint64(0) {
+		t.Error("threshold(>1) must be max")
+	}
+	// Halfway point.
+	half := BernoulliThreshold(0.5)
+	if math.Abs(float64(half)-0x1p63) > 0x1p40 {
+		t.Errorf("threshold(0.5) = %d, want ~2^63", half)
+	}
+}
+
+func TestBernoulliThresholdMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Abs(math.Mod(a, 1))
+		b = math.Abs(math.Mod(b, 1))
+		if a > b {
+			a, b = b, a
+		}
+		return BernoulliThreshold(a) <= BernoulliThreshold(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := NewSeeded(23)
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		const draws = 100000
+		hits := 0
+		for i := 0; i < draws; i++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / draws
+		// 6-sigma tolerance: sqrt(p(1-p)/draws) <= 0.0016.
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("Bernoulli(%v) frequency = %v", p, got)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewSeeded(31)
+	out := make([]int, 50)
+	r.Perm(out)
+	seen := make([]bool, 50)
+	for _, v := range out {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm output is not a permutation: %v", out)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleUniformFirstPosition(t *testing.T) {
+	r := NewSeeded(37)
+	const n, trials = 5, 50000
+	counts := make([]int, n)
+	s := make([]int, n)
+	for i := 0; i < trials; i++ {
+		for j := range s {
+			s[j] = j
+		}
+		r.Shuffle(s)
+		counts[s[0]]++
+	}
+	for v, c := range counts {
+		if math.Abs(float64(c)-trials/n) > 600 {
+			t.Errorf("Shuffle: value %d at position 0 %d times, want ~%d", v, c, trials/n)
+		}
+	}
+}
+
+func TestSampleWithoutReplacementDistinct(t *testing.T) {
+	r := NewSeeded(41)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(40)
+		d := 1 + r.Intn(n)
+		s := r.SampleWithoutReplacement(n, d)
+		if len(s) != d {
+			t.Fatalf("got %d samples, want %d", len(s), d)
+		}
+		seen := make(map[int]bool, d)
+		for _, v := range s {
+			if v < 0 || v >= n {
+				t.Fatalf("sample %d out of [0,%d)", v, n)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate sample %d (n=%d d=%d)", v, n, d)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleWithoutReplacementFull(t *testing.T) {
+	r := NewSeeded(43)
+	s := r.SampleWithoutReplacement(8, 8)
+	seen := make([]bool, 8)
+	for _, v := range s {
+		seen[v] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("full sample missing value %d: %v", v, s)
+		}
+	}
+}
+
+func TestSampleWithoutReplacementUniform(t *testing.T) {
+	// Each element of [0,n) should appear in a d-subset with probability d/n.
+	r := NewSeeded(47)
+	const n, d, trials = 10, 3, 60000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		for _, v := range r.SampleWithoutReplacement(n, d) {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * d / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 800 {
+			t.Errorf("element %d sampled %d times, want ~%v", v, c, want)
+		}
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("d > n did not panic")
+		}
+	}()
+	NewSeeded(1).SampleWithoutReplacement(3, 4)
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewSeeded(53)
+	for _, p := range []float64{0.1, 0.3, 0.7, 1.0} {
+		const draws = 50000
+		sum := 0.0
+		for i := 0; i < draws; i++ {
+			sum += float64(r.Geometric(p))
+		}
+		got := sum / draws
+		want := (1 - p) / p
+		if math.Abs(got-want) > 0.15*(want+0.05) {
+			t.Errorf("Geometric(%v) mean = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestGeometricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geometric(0) did not panic")
+		}
+	}()
+	NewSeeded(1).Geometric(0)
+}
+
+func TestNewSeededDeterministic(t *testing.T) {
+	a, b := NewSeeded(1000), NewSeeded(1000)
+	for i := 0; i < 64; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("NewSeeded streams with equal seeds diverged")
+		}
+	}
+}
+
+func TestSplitStreamsIndependent(t *testing.T) {
+	// Children of consecutive seeds should not correlate: check mean of
+	// XOR-ed low bits is ~0.5.
+	parent := NewSplitMix64(77)
+	a, b := parent.Split(), parent.Split()
+	agree := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if a.Uint64()&1 == b.Uint64()&1 {
+			agree++
+		}
+	}
+	if math.Abs(float64(agree)-n/2) > 300 {
+		t.Errorf("sibling streams agree on %d/%d low bits", agree, n)
+	}
+}
+
+func BenchmarkPCGUint64(b *testing.B) {
+	p := NewPCG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += p.Uint64()
+	}
+	benchSink = sink
+}
+
+func BenchmarkSplitMix64Uint64(b *testing.B) {
+	s := NewSplitMix64(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	benchSink = sink
+}
+
+func BenchmarkDerive2Words(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += Derive(42, uint64(i), uint64(i>>3))
+	}
+	benchSink = sink
+}
+
+func BenchmarkBernoulli(b *testing.B) {
+	r := NewSeeded(1)
+	t := BernoulliThreshold(0.3)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		if BernoulliWord(r.Uint64(), t) {
+			sink++
+		}
+	}
+	benchSinkInt = sink
+}
+
+var (
+	benchSink    uint64
+	benchSinkInt int
+)

@@ -1,0 +1,207 @@
+// Package report renders experiment results as ASCII tables, CSV files and
+// terminal sparklines. The lolohasim CLI and EXPERIMENTS.md are produced
+// through it.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned ASCII table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(rule)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// FormatFloat renders a float compactly: scientific for very small/large
+// magnitudes, fixed otherwise.
+func FormatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v != v: // NaN
+		return "NaN"
+	case abs(v) < 1e-3 || abs(v) >= 1e6:
+		return fmt.Sprintf("%.3e", v)
+	case abs(v) < 1:
+		return fmt.Sprintf("%.4f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+
+// WriteCSV writes a header plus rows of cells, comma-separated. Cells
+// containing commas or quotes are quoted.
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	writeLine := func(cells []string) error {
+		escaped := make([]string, len(cells))
+		for i, c := range cells {
+			escaped[i] = escapeCSV(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(escaped, ","))
+		return err
+	}
+	if err := writeLine(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := writeLine(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func escapeCSV(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Sparklines
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a unicode mini-chart, scaling to [min,max].
+// Non-finite values render as spaces.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	span := hi - lo
+	for _, v := range values {
+		if v != v {
+			b.WriteRune(' ')
+			continue
+		}
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// Histogram renders a labelled horizontal bar chart of freq, using at most
+// width characters for the longest bar. Labels index into names when
+// provided, else are the bin indices.
+func Histogram(w io.Writer, freq []float64, names []string, width int) error {
+	if width <= 0 {
+		width = 40
+	}
+	max := 0.0
+	for _, f := range freq {
+		if f > max {
+			max = f
+		}
+	}
+	for i, f := range freq {
+		label := fmt.Sprintf("%d", i)
+		if names != nil && i < len(names) {
+			label = names[i]
+		}
+		bar := 0
+		if max > 0 && f > 0 {
+			bar = int(f / max * float64(width))
+		}
+		if _, err := fmt.Fprintf(w, "%12s %7.4f %s\n", label, f, strings.Repeat("#", bar)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

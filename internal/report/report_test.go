@@ -1,0 +1,127 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("proto", "eps", "mse")
+	tbl.AddRow("RAPPOR", 0.5, 0.00123)
+	tbl.AddRow("BiLOLOHA", 5.0, 1.5e-7)
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "proto") {
+		t.Errorf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("rule line %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "RAPPOR") || !strings.Contains(lines[2], "0.0012") {
+		t.Errorf("row line %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "1.500e-07") {
+		t.Errorf("scientific formatting missing: %q", lines[3])
+	}
+}
+
+func TestTableColumnsAligned(t *testing.T) {
+	tbl := NewTable("a", "bbbbbb")
+	tbl.AddRow("xxxxxxxxxx", "y")
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	// Column 2 must start at the same offset in every line.
+	idx := strings.Index(lines[2], "y")
+	if strings.Index(lines[0], "bbbbbb") != idx {
+		t.Errorf("columns misaligned:\n%s", b.String())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{0.5, "0.5000"},
+		{12.3456, "12.346"},
+		{1e-9, "1.000e-09"},
+		{2.5e7, "2.500e+07"},
+		{math.NaN(), "NaN"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b,
+		[]string{"name", "value"},
+		[][]string{{"plain", "1"}, {"with,comma", `with"quote`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "name,value\nplain,1\n\"with,comma\",\"with\"\"quote\"\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if got := len([]rune(s)); got != 4 {
+		t.Fatalf("sparkline length %d, want 4", got)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("sparkline endpoints wrong: %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty input should render empty")
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat series should render low bars: %q", flat)
+		}
+	}
+	withNaN := []rune(Sparkline([]float64{0, math.NaN(), 1}))
+	if withNaN[1] != ' ' {
+		t.Errorf("NaN should render as space: %q", string(withNaN))
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var b strings.Builder
+	err := Histogram(&b, []float64{0.5, 0.25, 0}, []string{"a", "b", "c"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "########") {
+		t.Errorf("max bar not full width: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "####") || strings.Contains(lines[1], "#####") {
+		t.Errorf("half bar wrong: %q", lines[1])
+	}
+	if strings.Contains(lines[2], "#") {
+		t.Errorf("zero bar should be empty: %q", lines[2])
+	}
+}

@@ -1,0 +1,219 @@
+// Package server implements a wire-level collection service on top of the
+// longitudinal protocols: users enroll once with their registration
+// metadata (hash seed for LOLOHA, sampled buckets for dBitFlipPM, nothing
+// for UE/GRR chains), then stream fixed-size round payloads as raw bytes.
+// The service decodes, tallies and publishes per-round estimates.
+//
+// This is the production-facing face of the library: everything the
+// simulation harness does with in-memory Report values, the Collection
+// type does from bytes — and tests prove the two paths produce identical
+// estimates.
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/loloha-ldp/loloha/internal/core"
+	"github.com/loloha-ldp/loloha/internal/longitudinal"
+)
+
+// Registration carries a user's one-time enrollment metadata.
+type Registration struct {
+	// HashSeed identifies a LOLOHA user's hash function (Algorithm 1,
+	// "Send H").
+	HashSeed uint64
+	// Sampled lists a dBitFlipPM user's fixed sampled buckets.
+	Sampled []int
+}
+
+// Decoder turns a round payload into a protocol report for an enrolled
+// user. Implementations exist for every protocol in this repository.
+type Decoder interface {
+	Decode(payload []byte, reg Registration) (longitudinal.Report, error)
+}
+
+// Collection is a thread-safe multi-round collection service for one
+// protocol. Rounds are explicit: reports land in the current round until
+// CloseRound is called, which publishes the round's estimates.
+type Collection struct {
+	proto   longitudinal.Protocol
+	decoder Decoder
+
+	mu       sync.Mutex
+	agg      longitudinal.Aggregator
+	enrolled map[int]Registration
+	reported map[int]bool
+	rounds   [][]float64
+}
+
+// New returns a collection service for the protocol, decoding payloads
+// with the given decoder.
+func New(proto longitudinal.Protocol, decoder Decoder) *Collection {
+	return &Collection{
+		proto:    proto,
+		decoder:  decoder,
+		agg:      proto.NewAggregator(),
+		enrolled: make(map[int]Registration),
+		reported: make(map[int]bool),
+	}
+}
+
+// Enroll registers a user's one-time metadata. Re-enrollment with
+// different metadata is rejected: a changed hash function would corrupt
+// the user's support counts.
+func (c *Collection) Enroll(userID int, reg Registration) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.enrolled[userID]; ok {
+		if prev.HashSeed != reg.HashSeed || len(prev.Sampled) != len(reg.Sampled) {
+			return fmt.Errorf("server: user %d already enrolled with different metadata", userID)
+		}
+		return nil
+	}
+	c.enrolled[userID] = reg
+	return nil
+}
+
+// Ingest decodes and tallies one user's payload for the current round.
+// Duplicate reports within a round are rejected (they would bias Eq. (3)).
+func (c *Collection) Ingest(userID int, payload []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	reg, ok := c.enrolled[userID]
+	if !ok {
+		return fmt.Errorf("server: user %d not enrolled", userID)
+	}
+	if c.reported[userID] {
+		return fmt.Errorf("server: user %d already reported this round", userID)
+	}
+	rep, err := c.decoder.Decode(payload, reg)
+	if err != nil {
+		return fmt.Errorf("server: user %d payload: %w", userID, err)
+	}
+	c.agg.Add(userID, rep)
+	c.reported[userID] = true
+	return nil
+}
+
+// CloseRound finalizes the current round, publishes its estimates and
+// opens the next round.
+func (c *Collection) CloseRound() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	est := c.agg.EndRound()
+	c.rounds = append(c.rounds, est)
+	for u := range c.reported {
+		delete(c.reported, u)
+	}
+	return est
+}
+
+// Round returns the published estimates of round t (0-based).
+func (c *Collection) Round(t int) ([]float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t < 0 || t >= len(c.rounds) {
+		return nil, fmt.Errorf("server: round %d not published (have %d)", t, len(c.rounds))
+	}
+	return c.rounds[t], nil
+}
+
+// Rounds returns the number of published rounds.
+func (c *Collection) Rounds() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.rounds)
+}
+
+// Enrolled returns the number of enrolled users.
+func (c *Collection) Enrolled() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.enrolled)
+}
+
+// ---------------------------------------------------------------------------
+// Decoders for every protocol family.
+
+// LolohaDecoder decodes LOLOHA round payloads for a protocol with reduced
+// domain g.
+type LolohaDecoder struct{ G int }
+
+// Decode implements Decoder.
+func (d LolohaDecoder) Decode(payload []byte, reg Registration) (longitudinal.Report, error) {
+	rep, rest, err := core.DecodeReport(payload, d.G, reg.HashSeed)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("server: %d trailing bytes in LOLOHA payload", len(rest))
+	}
+	return rep, nil
+}
+
+// UEDecoder decodes unary-encoding round payloads of k bits.
+type UEDecoder struct{ K int }
+
+// Decode implements Decoder.
+func (d UEDecoder) Decode(payload []byte, _ Registration) (longitudinal.Report, error) {
+	rep, rest, err := longitudinal.DecodeUEReport(payload, d.K)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("server: %d trailing bytes in UE payload", len(rest))
+	}
+	return rep, nil
+}
+
+// GRRDecoder decodes scalar GRR round payloads over [0..k).
+type GRRDecoder struct{ K int }
+
+// Decode implements Decoder.
+func (d GRRDecoder) Decode(payload []byte, _ Registration) (longitudinal.Report, error) {
+	rep, rest, err := longitudinal.DecodeGRRValueReport(payload, d.K)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("server: %d trailing bytes in GRR payload", len(rest))
+	}
+	return rep, nil
+}
+
+// DBitDecoder decodes dBitFlipPM round payloads using the user's enrolled
+// sampled buckets.
+type DBitDecoder struct{}
+
+// Decode implements Decoder.
+func (DBitDecoder) Decode(payload []byte, reg Registration) (longitudinal.Report, error) {
+	if len(reg.Sampled) == 0 {
+		return nil, fmt.Errorf("server: user enrolled without sampled buckets")
+	}
+	rep, rest, err := longitudinal.DecodeDBitReport(payload, reg.Sampled)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("server: %d trailing bytes in dBit payload", len(rest))
+	}
+	return rep, nil
+}
+
+// ForProtocol returns the right decoder for any protocol constructed by
+// this repository.
+func ForProtocol(p longitudinal.Protocol) (Decoder, error) {
+	switch proto := p.(type) {
+	case *core.Protocol:
+		return LolohaDecoder{G: proto.G()}, nil
+	case *longitudinal.ChainUE:
+		return UEDecoder{K: proto.K()}, nil
+	case *longitudinal.LGRR:
+		return GRRDecoder{K: proto.K()}, nil
+	case *longitudinal.DBitFlipPM:
+		return DBitDecoder{}, nil
+	default:
+		return nil, fmt.Errorf("server: no decoder for %T", p)
+	}
+}

@@ -1,0 +1,35 @@
+package simulation
+
+import (
+	"testing"
+
+	"github.com/loloha-ldp/loloha/internal/datasets"
+	"github.com/loloha-ldp/loloha/internal/postprocess"
+)
+
+func TestRunMSEWithPostProcessing(t *testing.T) {
+	// On a sparse workload, simplex projection should not hurt and
+	// normally helps; at minimum the pipeline must run and score.
+	ds := datasets.Syn(datasets.SynConfig{K: 40, N: 2500, Tau: 4, ChangeProb: 0.2, Seed: 13})
+	spec := mustSpecK(t, 40, "BiLOLOHA")
+	base := Config{
+		EpsInfs: []float64{1.0}, Alphas: []float64{0.5}, Runs: 2, Seed: 77, Workers: 2,
+	}
+	raw, err := RunMSE(ds, []Spec{spec}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPP := base
+	withPP.PostProcess = postprocess.SimplexProject
+	proj, err := RunMSE(ds, []Spec{spec}, withPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(proj[0].Mean > 0) {
+		t.Fatalf("post-processed MSE %v", proj[0].Mean)
+	}
+	if proj[0].Mean > raw[0].Mean {
+		t.Errorf("simplex projection increased MSE: %v -> %v", raw[0].Mean, proj[0].Mean)
+	}
+	t.Logf("raw %.3e vs simplex %.3e", raw[0].Mean, proj[0].Mean)
+}

@@ -1,0 +1,312 @@
+package simulation
+
+import (
+	"math"
+	"testing"
+
+	"github.com/loloha-ldp/loloha/internal/datasets"
+	"github.com/loloha-ldp/loloha/internal/longitudinal"
+)
+
+// tinySyn builds a small synthetic dataset for fast grid tests.
+func tinySyn(t *testing.T) *datasets.Dataset {
+	t.Helper()
+	return datasets.Syn(datasets.SynConfig{K: 12, N: 3000, Tau: 4, ChangeProb: 0.3, Seed: 9})
+}
+
+func tinyCfg() Config {
+	return Config{
+		EpsInfs: []float64{1.0, 3.0},
+		Alphas:  []float64{0.5},
+		Runs:    2,
+		Seed:    1234,
+		Workers: 2,
+	}
+}
+
+func TestStandardSpecsCoverPaperMethods(t *testing.T) {
+	specs := StandardSpecs("syn", 360)
+	want := []string{"RAPPOR", "L-OSUE", "L-GRR", "BiLOLOHA", "OLOLOHA", "1BitFlipPM", "bBitFlipPM"}
+	if len(specs) != len(want) {
+		t.Fatalf("got %d specs, want %d", len(specs), len(want))
+	}
+	for i, s := range specs {
+		if s.Name != want[i] {
+			t.Errorf("spec %d = %q, want %q", i, s.Name, want[i])
+		}
+		p, err := s.Build(360, 2, 1)
+		if err != nil {
+			t.Errorf("%s build failed: %v", s.Name, err)
+			continue
+		}
+		if p.K() != 360 {
+			t.Errorf("%s K = %d", s.Name, p.K())
+		}
+	}
+}
+
+func TestStandardSpecsBucketChoice(t *testing.T) {
+	// b = k for syn/adult; b = k/4 for folktables datasets.
+	for _, c := range []struct {
+		ds    string
+		k, wb int
+	}{
+		{"syn", 360, 360}, {"adult", 96, 96}, {"db_mt", 1412, 353}, {"db_de", 1234, 308},
+	} {
+		spec, err := SpecByName(c.ds, c.k, "bBitFlipPM")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := spec.Build(c.k, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.(*longitudinal.DBitFlipPM).B(); got != c.wb {
+			t.Errorf("%s: b = %d, want %d", c.ds, got, c.wb)
+		}
+	}
+	if _, err := SpecByName("syn", 10, "nope"); err == nil {
+		t.Error("unknown spec accepted")
+	}
+}
+
+func TestRunMSEGridShapeAndSanity(t *testing.T) {
+	ds := tinySyn(t)
+	specs := []Spec{
+		mustSpec(t, "RAPPOR"), mustSpec(t, "BiLOLOHA"), mustSpec(t, "L-GRR"),
+	}
+	pts, err := RunMSE(ds, specs, tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3*2*1 {
+		t.Fatalf("got %d points, want 6", len(pts))
+	}
+	for _, p := range pts {
+		if p.Err != nil {
+			t.Errorf("%s: unexpected build error %v", p.Protocol, p.Err)
+			continue
+		}
+		if p.Runs != 2 {
+			t.Errorf("%s: %d runs", p.Protocol, p.Runs)
+		}
+		if !(p.Mean > 0) || math.IsInf(p.Mean, 0) {
+			t.Errorf("%s eps=%v: MSE %v not positive/finite", p.Protocol, p.EpsInf, p.Mean)
+		}
+		if p.Mean > 0.1 {
+			t.Errorf("%s eps=%v: MSE %v implausibly large", p.Protocol, p.EpsInf, p.Mean)
+		}
+	}
+}
+
+func TestRunMSEDecreasesWithEps(t *testing.T) {
+	ds := tinySyn(t)
+	pts, err := RunMSE(ds, []Spec{mustSpec(t, "RAPPOR")}, Config{
+		EpsInfs: []float64{0.5, 5.0}, Alphas: []float64{0.5}, Runs: 3, Seed: 7, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pts[0].EpsInf < pts[1].EpsInf) {
+		t.Fatal("points out of order")
+	}
+	if pts[1].Mean >= pts[0].Mean {
+		t.Errorf("MSE did not improve with eps: %v -> %v", pts[0].Mean, pts[1].Mean)
+	}
+}
+
+func TestRunMSEDeterministicAcrossWorkerCounts(t *testing.T) {
+	ds := tinySyn(t)
+	cfg1 := tinyCfg()
+	cfg1.Workers = 1
+	cfg4 := tinyCfg()
+	cfg4.Workers = 4
+	pts1, err := RunMSE(ds, []Spec{mustSpec(t, "BiLOLOHA")}, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts4, err := RunMSE(ds, []Spec{mustSpec(t, "BiLOLOHA")}, cfg4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts1 {
+		if pts1[i].Mean != pts4[i].Mean {
+			t.Errorf("point %d differs across worker counts: %v vs %v",
+				i, pts1[i].Mean, pts4[i].Mean)
+		}
+	}
+}
+
+func TestRunPrivacyLossMatchesLedgerSemantics(t *testing.T) {
+	// On a dataset where every user holds a constant value, every
+	// memoization protocol spends exactly one ε∞.
+	values := make([][]int, 5)
+	row := make([]int, 200)
+	for u := range row {
+		row[u] = u % 12
+	}
+	for t := range values {
+		values[t] = row
+	}
+	ds := datasets.Syn(datasets.SynConfig{K: 12, N: 200, Tau: 5, ChangeProb: 1e-12, Seed: 3})
+	_ = values
+	pts, err := RunPrivacyLoss(ds, []Spec{mustSpec(t, "RAPPOR"), mustSpec(t, "BiLOLOHA")}, Config{
+		EpsInfs: []float64{2.0}, Alphas: []float64{0.5}, Runs: 1, Seed: 5, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		// Constant sequences: ε̌ = ε∞ for every user and protocol.
+		if math.Abs(p.Mean-2.0) > 1e-9 {
+			t.Errorf("%s: ε̌_avg = %v, want 2.0 (constant data)", p.Protocol, p.Mean)
+		}
+	}
+}
+
+func TestRunPrivacyLossOrderingMatchesFig4(t *testing.T) {
+	// On churning data: RAPPOR ε̌ grows with distinct values; BiLOLOHA is
+	// capped at 2ε∞; OLOLOHA at g·ε∞ — the Fig. 4 story. τ must be long
+	// enough for the LOLOHA caps to bind (distinct values ≫ g).
+	ds := datasets.Syn(datasets.SynConfig{K: 60, N: 500, Tau: 150, ChangeProb: 0.5, Seed: 21})
+	specs := []Spec{
+		mustSpecK(t, 60, "RAPPOR"), mustSpecK(t, 60, "BiLOLOHA"),
+		mustSpecK(t, 60, "OLOLOHA"), mustSpecK(t, 60, "bBitFlipPM"),
+	}
+	pts, err := RunPrivacyLoss(ds, specs, Config{
+		EpsInfs: []float64{5.0}, Alphas: []float64{0.6}, Runs: 1, Seed: 6, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := map[string]float64{}
+	for _, p := range pts {
+		by[p.Protocol] = p.Mean
+	}
+	if by["BiLOLOHA"] > 2*5.0+1e-9 {
+		t.Errorf("BiLOLOHA ε̌ %v exceeds 2ε∞", by["BiLOLOHA"])
+	}
+	if by["RAPPOR"] < 5*by["BiLOLOHA"] {
+		t.Errorf("RAPPOR ε̌ %v not far above BiLOLOHA %v", by["RAPPOR"], by["BiLOLOHA"])
+	}
+	if by["OLOLOHA"] >= by["RAPPOR"] {
+		t.Errorf("OLOLOHA ε̌ %v not below RAPPOR %v", by["OLOLOHA"], by["RAPPOR"])
+	}
+	// bBitFlipPM with b=k tracks RAPPOR (every bucket change is a state)
+	// and sits far above the capped OLOLOHA.
+	if by["bBitFlipPM"] < 1.5*by["OLOLOHA"] {
+		t.Errorf("bBitFlipPM ε̌ %v not well above OLOLOHA %v", by["bBitFlipPM"], by["OLOLOHA"])
+	}
+}
+
+func TestRunDetectionTable2Shape(t *testing.T) {
+	// τ large enough that each user has many bucket changes: detecting
+	// *all* of them with a single memoized bit is then essentially
+	// impossible (the Table 2 d=1 column).
+	ds := datasets.Syn(datasets.SynConfig{K: 40, N: 300, Tau: 60, ChangeProb: 0.3, Seed: 31})
+	pts, err := RunDetection(ds, 40, []int{1, 40}, Config{
+		EpsInfs: []float64{1.0}, Alphas: []float64{0.5}, Runs: 1, Seed: 8, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := map[string]float64{}
+	for _, p := range pts {
+		rates[p.Protocol] = p.Mean
+	}
+	if rates["d=1"] > 0.05 {
+		t.Errorf("d=1 fully-detected rate %v, want ~0", rates["d=1"])
+	}
+	if rates["d=40"] < 0.95 {
+		t.Errorf("d=b fully-detected rate %v, want ~1", rates["d=40"])
+	}
+}
+
+func TestRunGridReportsBuildErrors(t *testing.T) {
+	ds := tinySyn(t)
+	specs := []Spec{{
+		Name: "broken",
+		Build: func(k int, e, e1 float64) (longitudinal.Protocol, error) {
+			return longitudinal.NewRAPPOR(k, e1, e) // swapped budgets: always invalid
+		},
+	}}
+	pts, err := RunMSE(ds, specs, tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Err == nil {
+			t.Error("broken spec produced no error")
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ds := tinySyn(t)
+	if _, err := RunMSE(ds, nil, Config{Runs: 1}); err == nil {
+		t.Error("empty grid accepted")
+	}
+	if _, err := RunMSE(ds, nil, Config{EpsInfs: []float64{1}, Alphas: []float64{0.5}}); err == nil {
+		t.Error("zero runs accepted")
+	}
+}
+
+func TestReplayProducesRoundEstimates(t *testing.T) {
+	ds := tinySyn(t)
+	proto, err := longitudinal.NewLGRR(ds.K, 3, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := Replay(ds, proto, 42)
+	if len(est) != ds.Tau() {
+		t.Fatalf("got %d rounds, want %d", len(est), ds.Tau())
+	}
+	for t0, round := range est {
+		if len(round) != ds.K {
+			t.Fatalf("round %d has %d bins", t0, len(round))
+		}
+		truth := ds.TrueFrequencies(t0)
+		worst := 0.0
+		for v := range round {
+			if d := math.Abs(round[v] - truth[v]); d > worst {
+				worst = d
+			}
+		}
+		if worst > 0.2 {
+			t.Errorf("round %d worst error %v", t0, worst)
+		}
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := meanStd([]float64{1, 2, 3, 4})
+	if math.Abs(m-2.5) > 1e-12 {
+		t.Errorf("mean %v", m)
+	}
+	if math.Abs(s-math.Sqrt(5.0/3)) > 1e-12 {
+		t.Errorf("std %v", s)
+	}
+	m1, s1 := meanStd([]float64{7})
+	if m1 != 7 || s1 != 0 {
+		t.Errorf("single value: %v %v", m1, s1)
+	}
+	mn, _ := meanStd(nil)
+	if !math.IsNaN(mn) {
+		t.Error("empty mean not NaN")
+	}
+}
+
+func mustSpec(t *testing.T, name string) Spec {
+	return mustSpecK(t, 12, name)
+}
+
+// mustSpecK resolves a standard spec for domain size k; k matters for the
+// dBitFlipPM variants, whose bucket count is fixed at spec-building time.
+func mustSpecK(t *testing.T, k int, name string) Spec {
+	t.Helper()
+	s, err := SpecByName("syn", k, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

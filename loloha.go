@@ -1,0 +1,301 @@
+// Package loloha is a Go implementation of LOLOHA — "Frequency Estimation
+// of Evolving Data Under Local Differential Privacy" (Arcolezi, Pinzón,
+// Palamidessi, Gambs; EDBT 2023) — together with the longitudinal LDP
+// baselines the paper evaluates against: RAPPOR (L-SUE), L-OSUE, L-OUE,
+// L-SOUE, L-GRR and dBitFlipPM, and the one-shot frequency oracles they
+// build on (GRR, BLH/OLH, SUE/OUE).
+//
+// The core abstraction is a Protocol that binds a per-user Client (which
+// sanitizes one value per collection round and tracks its own longitudinal
+// privacy ledger) to a server-side Aggregator (which tallies a round of
+// reports and produces unbiased frequency estimates).
+//
+//	proto, _ := loloha.NewBiLOLOHA(k, 1.0 /* ε∞ */, 0.5 /* ε1 */)
+//	cohort := loloha.NewCohort(proto, numUsers, seed)
+//	for each collection round {
+//	    est := cohort.Collect(values) // values[u] = user u's current value
+//	}
+//
+// LOLOHA's guarantee (Theorem 3.5): however long the collection runs and
+// however often values change, each user's total privacy loss is bounded
+// by g·ε∞, where g ≪ k is the reduced hash domain — against k·ε∞ for
+// RAPPOR-style memoization.
+package loloha
+
+import (
+	"fmt"
+
+	"github.com/loloha-ldp/loloha/internal/analysis"
+	"github.com/loloha-ldp/loloha/internal/core"
+	"github.com/loloha-ldp/loloha/internal/domain"
+	"github.com/loloha-ldp/loloha/internal/freqoracle"
+	"github.com/loloha-ldp/loloha/internal/heavyhitter"
+	"github.com/loloha-ldp/loloha/internal/longitudinal"
+	"github.com/loloha-ldp/loloha/internal/postprocess"
+	"github.com/loloha-ldp/loloha/internal/randsrc"
+	"github.com/loloha-ldp/loloha/internal/server"
+)
+
+// Client is the per-user side of a longitudinal protocol. See
+// internal/longitudinal for the contract.
+type Client = longitudinal.Client
+
+// Aggregator is the server side of a longitudinal protocol.
+type Aggregator = longitudinal.Aggregator
+
+// Protocol binds clients and aggregators together.
+type Protocol = longitudinal.Protocol
+
+// Report is one round's sanitized payload.
+type Report = longitudinal.Report
+
+// LOLOHA is the configured protocol of the paper (Algorithms 1 and 2).
+type LOLOHA = core.Protocol
+
+// ChainParams carries the two-round probabilities (p1, q1, p2, q2) used by
+// the Eq. (3) estimator and the Eq. (4)/(5) variances.
+type ChainParams = longitudinal.ChainParams
+
+// ---------------------------------------------------------------------------
+// LOLOHA constructors.
+
+// New returns a LOLOHA protocol over domain size k with reduced domain g:
+// longitudinal budget epsInf, first-report budget eps1 (0 < eps1 < epsInf).
+func New(k, g int, epsInf, eps1 float64) (*LOLOHA, error) {
+	return core.New(k, g, epsInf, eps1)
+}
+
+// NewBiLOLOHA returns the privacy-tuned variant (g = 2): worst-case
+// longitudinal loss 2·ε∞ on the users' values.
+func NewBiLOLOHA(k int, epsInf, eps1 float64) (*LOLOHA, error) {
+	return core.NewBinary(k, epsInf, eps1)
+}
+
+// NewOLOLOHA returns the utility-tuned variant: g minimizes the
+// approximate variance (Eq. (6)).
+func NewOLOLOHA(k int, epsInf, eps1 float64) (*LOLOHA, error) {
+	return core.NewOptimal(k, epsInf, eps1)
+}
+
+// OptimalG evaluates the closed-form optimal reduced domain size (Eq. (6)).
+func OptimalG(epsInf, eps1 float64) int { return core.OptimalG(epsInf, eps1) }
+
+// ---------------------------------------------------------------------------
+// Baseline longitudinal protocols (§2.4).
+
+// NewRAPPOR returns the RAPPOR protocol (SUE chained with SUE).
+func NewRAPPOR(k int, epsInf, eps1 float64) (Protocol, error) {
+	return longitudinal.NewRAPPOR(k, epsInf, eps1)
+}
+
+// NewLOSUE returns L-OSUE (OUE chained with SUE), the optimized
+// unary-encoding baseline.
+func NewLOSUE(k int, epsInf, eps1 float64) (Protocol, error) {
+	return longitudinal.NewLOSUE(k, epsInf, eps1)
+}
+
+// NewLOUE returns L-OUE (OUE chained with OUE).
+func NewLOUE(k int, epsInf, eps1 float64) (Protocol, error) {
+	return longitudinal.NewLOUE(k, epsInf, eps1)
+}
+
+// NewLSOUE returns L-SOUE (SUE chained with OUE).
+func NewLSOUE(k int, epsInf, eps1 float64) (Protocol, error) {
+	return longitudinal.NewLSOUE(k, epsInf, eps1)
+}
+
+// NewLGRR returns L-GRR (GRR chained with GRR), best for small domains.
+func NewLGRR(k int, epsInf, eps1 float64) (Protocol, error) {
+	return longitudinal.NewLGRR(k, epsInf, eps1)
+}
+
+// NewDBitFlipPM returns Microsoft's dBitFlipPM over b equal-width buckets
+// with d sampled bits per user.
+func NewDBitFlipPM(k, b, d int, epsInf float64) (Protocol, error) {
+	return longitudinal.NewDBitFlipPM(k, b, d, epsInf)
+}
+
+// ---------------------------------------------------------------------------
+// Cohort: convenience wiring of n clients plus an aggregator.
+
+// Cohort couples n protocol clients with one aggregator so applications can
+// drive a complete collection round with a single call. It is a
+// convenience for simulations and examples; production deployments run
+// Client on devices and Aggregator on the server.
+type Cohort struct {
+	proto   Protocol
+	clients []Client
+	agg     Aggregator
+}
+
+// NewCohort creates n clients (seeded deterministically from seed) and a
+// fresh aggregator for proto.
+func NewCohort(proto Protocol, n int, seed uint64) (*Cohort, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("loloha: cohort needs at least one user, got %d", n)
+	}
+	c := &Cohort{
+		proto:   proto,
+		clients: make([]Client, n),
+		agg:     proto.NewAggregator(),
+	}
+	for u := range c.clients {
+		c.clients[u] = proto.NewClient(randsrc.Derive(seed, uint64(u)))
+	}
+	return c, nil
+}
+
+// N returns the cohort size.
+func (c *Cohort) N() int { return len(c.clients) }
+
+// Collect runs one collection round: values[u] is user u's current value.
+// It returns the round's frequency estimates.
+func (c *Cohort) Collect(values []int) ([]float64, error) {
+	if len(values) != len(c.clients) {
+		return nil, fmt.Errorf("loloha: got %d values for %d users", len(values), len(c.clients))
+	}
+	for u, v := range values {
+		c.agg.Add(u, c.clients[u].Report(v))
+	}
+	return c.agg.EndRound(), nil
+}
+
+// PrivacySpent returns each user's longitudinal privacy loss ε̌ so far.
+func (c *Cohort) PrivacySpent() []float64 {
+	out := make([]float64, len(c.clients))
+	for u, cl := range c.clients {
+		out[u] = cl.PrivacySpent()
+	}
+	return out
+}
+
+// MaxPrivacySpent returns the worst ε̌ across the cohort.
+func (c *Cohort) MaxPrivacySpent() float64 {
+	worst := 0.0
+	for _, cl := range c.clients {
+		if s := cl.PrivacySpent(); s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// ---------------------------------------------------------------------------
+// One-shot oracles (§2.3) for non-longitudinal collections.
+
+// GRR is the one-shot generalized randomized response mechanism.
+type GRR = freqoracle.GRR
+
+// LH is the one-shot local hashing protocol.
+type LH = freqoracle.LH
+
+// UE is the one-shot unary encoding protocol.
+type UE = freqoracle.UE
+
+// NewGRR returns one-shot GRR over domain size k at privacy level eps.
+func NewGRR(k int, eps float64) (*GRR, error) { return freqoracle.NewGRR(k, eps) }
+
+// NewBLH returns one-shot binary local hashing (g = 2).
+func NewBLH(k int, eps float64) (*LH, error) { return freqoracle.NewBLH(k, eps) }
+
+// NewOLH returns one-shot optimal local hashing (g = ⌊e^ε⌉+1).
+func NewOLH(k int, eps float64) (*LH, error) { return freqoracle.NewOLH(k, eps) }
+
+// NewSUE returns one-shot symmetric unary encoding.
+func NewSUE(k int, eps float64) (*UE, error) { return freqoracle.NewSUE(k, eps) }
+
+// NewOUE returns one-shot optimal unary encoding.
+func NewOUE(k int, eps float64) (*UE, error) { return freqoracle.NewOUE(k, eps) }
+
+// ---------------------------------------------------------------------------
+// Wire-level collection service.
+
+// Collection is a thread-safe multi-round collection service that ingests
+// raw report bytes: users Enroll once with registration metadata, Ingest a
+// payload per round, and CloseRound publishes estimates. See
+// internal/server for the contract.
+type Collection = server.Collection
+
+// Registration is a user's one-time enrollment metadata (LOLOHA hash seed
+// or dBitFlipPM sampled buckets).
+type Registration = server.Registration
+
+// NewCollection returns a collection service for the protocol, selecting
+// the matching payload decoder automatically.
+func NewCollection(proto Protocol) (*Collection, error) {
+	dec, err := server.ForProtocol(proto)
+	if err != nil {
+		return nil, err
+	}
+	return server.New(proto, dec), nil
+}
+
+// ---------------------------------------------------------------------------
+// Domain helpers.
+
+// Codec maps application-level string values onto the dense indices [0..k)
+// that every protocol operates on. Servers and clients must construct it
+// from the same value list.
+type Codec = domain.Codec
+
+// NewCodec builds a codec over the given distinct values.
+func NewCodec(values []string) (*Codec, error) { return domain.NewCodec(values) }
+
+// ---------------------------------------------------------------------------
+// Heavy-hitter monitoring (application layer).
+
+// HeavyHitterTracker folds per-round estimates into smoothed frequencies
+// and maintains the heavy-hitter set with hysteresis.
+type HeavyHitterTracker = heavyhitter.Tracker
+
+// HeavyHitterConfig parameterizes a HeavyHitterTracker.
+type HeavyHitterConfig = heavyhitter.Config
+
+// Hitter is one detected heavy hitter.
+type Hitter = heavyhitter.Hitter
+
+// NewHeavyHitterTracker returns a tracker over per-round estimates.
+func NewHeavyHitterTracker(cfg HeavyHitterConfig) (*HeavyHitterTracker, error) {
+	return heavyhitter.New(cfg)
+}
+
+// SuggestedHeavyHitterThreshold returns a detection threshold z noise
+// floors above zero for a chain's estimates smoothed at the given alpha.
+func SuggestedHeavyHitterThreshold(params ChainParams, n int, alpha, z float64) float64 {
+	return heavyhitter.SuggestedThreshold(params, n, alpha, z)
+}
+
+// ---------------------------------------------------------------------------
+// Post-processing (extension; costs no privacy by Proposition 2.2).
+
+// PostProcess selects a server-side estimate transform.
+type PostProcess = postprocess.Method
+
+// Post-processing methods: raw estimates (paper default), clamping,
+// clip-and-rescale, and the L2-optimal simplex projection.
+const (
+	PostNone      = postprocess.None
+	PostClip      = postprocess.Clip
+	PostNormalize = postprocess.Normalize
+	PostSimplex   = postprocess.SimplexProject
+)
+
+// ApplyPostProcess transforms raw estimates in place and returns them.
+func ApplyPostProcess(m PostProcess, est []float64) []float64 {
+	return postprocess.Apply(m, est)
+}
+
+// ---------------------------------------------------------------------------
+// Analysis helpers.
+
+// AccuracyBound evaluates the Proposition 3.6 high-probability bound: with
+// probability at least 1−beta, every estimate of a chain with the given
+// parameters is within the returned distance of the truth.
+func AccuracyBound(k, n int, beta float64, params ChainParams) (float64, error) {
+	return analysis.AccuracyBound(k, n, beta, params)
+}
+
+// ApproxVarianceLOLOHA returns V* (Eq. (5)) for a LOLOHA configuration.
+func ApproxVarianceLOLOHA(epsInf, eps1 float64, g, n int) (float64, error) {
+	return analysis.VStarLOLOHA(epsInf, eps1, g, n)
+}
