@@ -10,6 +10,8 @@ package loloha_test
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 
 	loloha "github.com/loloha-ldp/loloha"
@@ -251,6 +253,98 @@ func BenchmarkAggregatorAdd(b *testing.B) {
 				agg.Add(i%pool, reports[i%pool])
 			}
 			benchSink = agg
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sharded collection scaling: the ISSUE 1 tentpole. Collect at 100k and 1M
+// users across shard counts — reports/s should scale near-linearly with
+// shards up to the core count, and the estimates are bit-identical to
+// serial at every setting (asserted by TestShardedCollectMatchesSerial).
+
+func BenchmarkCollectParallel(b *testing.B) {
+	const k = 64
+	for _, n := range []int{100_000, 1_000_000} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("n=%d/shards=%d", n, shards), func(b *testing.B) {
+				proto, err := loloha.NewBiLOLOHA(k, 2, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cohort, err := loloha.NewShardedCohort(proto, n, 42, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				values := make([]int, n)
+				for u := range values {
+					values[u] = u % k
+				}
+				// Warm round: builds the per-user hash-table caches so the
+				// timed rounds measure steady-state throughput.
+				if _, err := cohort.Collect(values); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					est, err := cohort.Collect(values)
+					if err != nil {
+						b.Fatal(err)
+					}
+					benchSink = est
+				}
+				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+			})
+		}
+	}
+}
+
+func BenchmarkIngestParallel(b *testing.B) {
+	// Wire-level ingestion under concurrency: a single-stripe service
+	// serializes every Ingest on one mutex; the striped service scales
+	// with the ingesting goroutines.
+	const k, n = 64, 50_000
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4 // still measures lock contention on small boxes
+	}
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			proto, err := loloha.NewBiLOLOHA(k, 2, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			col, err := loloha.NewShardedCollection(proto, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			payloads := make([][]byte, n)
+			for u := 0; u < n; u++ {
+				cl := proto.NewClient(uint64(u)).(*core.Client)
+				if err := col.Enroll(u, loloha.Registration{HashSeed: cl.HashSeed()}); err != nil {
+					b.Fatal(err)
+				}
+				payloads[u] = cl.ReportValue(u % k).AppendBinary(nil)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for u := w; u < n; u += workers {
+							if err := col.Ingest(u, payloads[u]); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				benchSink = col.CloseRound()
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
 		})
 	}
 }

@@ -10,7 +10,8 @@
 //	lolohasim all                       # everything, all datasets
 //
 // Flags control the grid (-eps, -alphas), the repetitions (-runs), the
-// cohort randomness (-seed), parallelism (-workers) and CSV output (-csv).
+// cohort randomness (-seed), parallelism (-workers for grid cells,
+// -shards for intra-collection sharding) and CSV output (-csv).
 package main
 
 import (
@@ -36,6 +37,7 @@ type options struct {
 	n       int
 	seed    uint64
 	workers int
+	shards  int
 	csvDir  string
 }
 
@@ -64,6 +66,7 @@ func run(args []string) error {
 	fs.IntVar(&o.n, "n", 10000, "cohort size for fig2's numeric variance")
 	fs.Int64Var(&seed64, "seed", 42, "experiment seed")
 	fs.IntVar(&o.workers, "workers", 0, "parallel cells (0 = GOMAXPROCS)")
+	fs.IntVar(&o.shards, "shards", 1, "per-collection user shards (results identical for any value)")
 	fs.StringVar(&o.csvDir, "csv", "", "directory to also write CSV results into")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -122,7 +125,7 @@ func run(args []string) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: lolohasim <command> [flags]
 commands: fig1 fig2 fig3 fig4 table1 table2 ablation all
-flags:    -dataset -runs -eps -alphas -n -seed -workers -csv`)
+flags:    -dataset -runs -eps -alphas -n -seed -workers -shards -csv`)
 }
 
 func parseFloats(s string, def []float64) ([]float64, error) {
@@ -346,6 +349,7 @@ func gridConfig(o options) simulation.Config {
 		Runs:    o.runs,
 		Seed:    o.seed,
 		Workers: o.workers,
+		Shards:  o.shards,
 	}
 }
 

@@ -1,0 +1,3 @@
+module github.com/loloha-ldp/loloha
+
+go 1.24

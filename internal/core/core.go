@@ -355,6 +355,25 @@ func (a *Aggregator) AddReport(userID int, r Report) {
 	a.n++
 }
 
+// Fork implements longitudinal.MergeableAggregator.
+func (a *Aggregator) Fork() longitudinal.Aggregator {
+	return a.proto.NewServer()
+}
+
+// Merge implements longitudinal.MergeableAggregator: it folds other's
+// round tallies into the receiver and resets them. other keeps its
+// per-user hash registrations (they are keyed by the users the fork
+// tallies, which stay with the fork across rounds).
+func (a *Aggregator) Merge(other longitudinal.Aggregator) {
+	o, ok := other.(*Aggregator)
+	if !ok || o.proto != a.proto {
+		panic(fmt.Sprintf("core: LOLOHA aggregator cannot merge %T", other))
+	}
+	longitudinal.MergeCounts(a.counts, o.counts)
+	a.n += o.n
+	o.n = 0
+}
+
 // EndRound implements longitudinal.Aggregator: Eq. (3) with q′₁ = 1/g.
 func (a *Aggregator) EndRound() []float64 {
 	est := a.proto.params.EstimateAllL(a.counts, a.n)

@@ -293,6 +293,22 @@ func (a *chainUEAggregator) Add(userID int, rep Report) {
 	a.n++
 }
 
+// Fork implements MergeableAggregator.
+func (a *chainUEAggregator) Fork() Aggregator {
+	return a.proto.NewAggregator()
+}
+
+// Merge implements MergeableAggregator.
+func (a *chainUEAggregator) Merge(other Aggregator) {
+	o, ok := other.(*chainUEAggregator)
+	if !ok || o.proto != a.proto {
+		panic(fmt.Sprintf("longitudinal: %s aggregator cannot merge %T", a.proto.name, other))
+	}
+	MergeCounts(a.counts, o.counts)
+	a.n += o.n
+	o.n = 0
+}
+
 // EndRound implements Aggregator.
 func (a *chainUEAggregator) EndRound() []float64 {
 	est := a.proto.params.EstimateAllL(a.counts, a.n)

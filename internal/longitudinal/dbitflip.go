@@ -239,6 +239,22 @@ func (a *dBitAggregator) Add(userID int, rep Report) {
 	a.n++
 }
 
+// Fork implements MergeableAggregator.
+func (a *dBitAggregator) Fork() Aggregator {
+	return a.proto.NewAggregator()
+}
+
+// Merge implements MergeableAggregator.
+func (a *dBitAggregator) Merge(other Aggregator) {
+	o, ok := other.(*dBitAggregator)
+	if !ok || o.proto != a.proto {
+		panic(fmt.Sprintf("longitudinal: dBitFlipPM aggregator cannot merge %T", other))
+	}
+	MergeCounts(a.counts, o.counts)
+	a.n += o.n
+	o.n = 0
+}
+
 // EndRound implements Aggregator: Eq. (1) with n replaced by nd/b, since
 // each bucket is observed by ~nd/b users (§2.4.4). A round with zero
 // reports estimates zero everywhere.

@@ -147,6 +147,22 @@ func (a *lgrrAggregator) Add(userID int, rep Report) {
 	a.n++
 }
 
+// Fork implements MergeableAggregator.
+func (a *lgrrAggregator) Fork() Aggregator {
+	return a.proto.NewAggregator()
+}
+
+// Merge implements MergeableAggregator.
+func (a *lgrrAggregator) Merge(other Aggregator) {
+	o, ok := other.(*lgrrAggregator)
+	if !ok || o.proto != a.proto {
+		panic(fmt.Sprintf("longitudinal: L-GRR aggregator cannot merge %T", other))
+	}
+	MergeCounts(a.counts, o.counts)
+	a.n += o.n
+	o.n = 0
+}
+
 // EndRound implements Aggregator.
 func (a *lgrrAggregator) EndRound() []float64 {
 	est := a.proto.params.EstimateAllL(a.counts, a.n)

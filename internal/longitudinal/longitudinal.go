@@ -59,6 +59,26 @@ type Aggregator interface {
 	EstimateDomain() int
 }
 
+// MergeableAggregator is an Aggregator that supports sharded collection:
+// Fork'd siblings tally disjoint partitions of the cohort on their own
+// goroutines and Merge folds each sibling's round state back into one
+// aggregator before EndRound. Every aggregator in this repository
+// implements it.
+type MergeableAggregator interface {
+	Aggregator
+	// Fork returns a fresh aggregator with the same configuration and no
+	// accumulated round state. Forks do not share mutable state with the
+	// receiver: each maintains its own tallies and registration caches, so
+	// distinct forks may Add concurrently.
+	Fork() Aggregator
+	// Merge folds other's current-round tallies into the receiver and
+	// resets other's round tallies (long-lived registration caches stay
+	// with other, so a fork remains cheap to reuse across rounds). other
+	// must come from Fork on the receiver or on a sibling; tallies are
+	// integer counts, so any merge order yields bit-identical estimates.
+	Merge(other Aggregator)
+}
+
 // Protocol binds the two sides together with the protocol's metadata.
 type Protocol interface {
 	Name() string

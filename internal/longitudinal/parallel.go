@@ -1,0 +1,112 @@
+package longitudinal
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// DefaultShards returns the default collection parallelism: one shard per
+// available CPU.
+func DefaultShards() int { return runtime.GOMAXPROCS(0) }
+
+// ShardedCollector drives collection rounds over a fixed-size cohort,
+// partitioned into contiguous user shards that report and tally on their
+// own goroutines. Results are bit-identical to a serial collection for any
+// shard count: per-user randomness lives in each Client, users keep their
+// shard across rounds, and shard tallies are integer counts merged before
+// estimation.
+//
+// When the protocol's aggregator does not implement MergeableAggregator
+// the collector transparently falls back to a single serial shard.
+type ShardedCollector struct {
+	agg    Aggregator   // merge target; sole tally when serial
+	forks  []Aggregator // per-shard forks (empty when serial)
+	bounds []int        // len(forks)+1 offsets partitioning [0..n)
+	n      int
+}
+
+// NewShardedCollector partitions n users into at most shards contiguous
+// blocks tallied by forks of agg. shards <= 1 (or a non-mergeable agg)
+// selects the serial path; shards is clamped to n.
+func NewShardedCollector(agg Aggregator, n, shards int) *ShardedCollector {
+	c := &ShardedCollector{agg: agg, n: n}
+	if shards > n {
+		shards = n
+	}
+	ma, mergeable := agg.(MergeableAggregator)
+	if shards <= 1 || !mergeable {
+		return c
+	}
+	c.forks = make([]Aggregator, shards)
+	c.bounds = make([]int, shards+1)
+	for i := range c.forks {
+		c.forks[i] = ma.Fork()
+		c.bounds[i] = i * n / shards
+	}
+	c.bounds[shards] = n
+	return c
+}
+
+// Shards returns the effective parallelism (1 on the serial path).
+func (c *ShardedCollector) Shards() int {
+	if len(c.forks) == 0 {
+		return 1
+	}
+	return len(c.forks)
+}
+
+// Aggregator returns the merge target (the aggregator the collector was
+// constructed with).
+func (c *ShardedCollector) Aggregator() Aggregator { return c.agg }
+
+// Collect runs one collection round: clients[u].Report(values[u]) is
+// tallied for every user u and the round's estimates returned. clients and
+// values must have the length the collector was constructed for.
+func (c *ShardedCollector) Collect(clients []Client, values []int) ([]float64, error) {
+	if len(clients) != c.n || len(values) != c.n {
+		return nil, fmt.Errorf("longitudinal: sharded collector built for %d users, got %d clients / %d values",
+			c.n, len(clients), len(values))
+	}
+	if len(c.forks) == 0 {
+		for u, v := range values {
+			c.agg.Add(u, clients[u].Report(v))
+		}
+		return c.agg.EndRound(), nil
+	}
+	// Client/aggregator panics (caller bugs like out-of-range values) are
+	// re-raised on the caller's stack, so sharding keeps the serial path's
+	// failure mode instead of crashing the process from a worker.
+	panics := make([]any, len(c.forks))
+	var wg sync.WaitGroup
+	for i, fork := range c.forks {
+		wg.Add(1)
+		go func(i int, fork Aggregator, lo, hi int) {
+			defer wg.Done()
+			defer func() { panics[i] = recover() }()
+			for u := lo; u < hi; u++ {
+				fork.Add(u, clients[u].Report(values[u]))
+			}
+		}(i, fork, c.bounds[i], c.bounds[i+1])
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	ma := c.agg.(MergeableAggregator)
+	for _, fork := range c.forks {
+		ma.Merge(fork)
+	}
+	return c.agg.EndRound(), nil
+}
+
+// MergeCounts folds src's tallies into dst and zeroes src: the shared
+// round-state transfer of every Merge implementation in this repository.
+func MergeCounts(dst, src []int64) {
+	for i, c := range src {
+		dst[i] += c
+		src[i] = 0
+	}
+}

@@ -12,10 +12,12 @@ package server
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"github.com/loloha-ldp/loloha/internal/core"
 	"github.com/loloha-ldp/loloha/internal/longitudinal"
+	"github.com/loloha-ldp/loloha/internal/randsrc"
 )
 
 // Registration carries a user's one-time enrollment metadata.
@@ -36,101 +38,181 @@ type Decoder interface {
 // Collection is a thread-safe multi-round collection service for one
 // protocol. Rounds are explicit: reports land in the current round until
 // CloseRound is called, which publishes the round's estimates.
+//
+// Internally the service is striped: users hash onto shards, each with its
+// own lock, enrollment/report maps and aggregator fork, so concurrent
+// Ingest calls from different shards never contend. CloseRound acts as a
+// round barrier — it excludes all ingestion, merges the shard tallies and
+// publishes the estimates. With a non-mergeable aggregator the service
+// degrades to a single shard (the pre-striping behaviour).
 type Collection struct {
 	proto   longitudinal.Protocol
 	decoder Decoder
 
+	// mu is the round barrier: CloseRound holds it exclusively; Enroll,
+	// Ingest and the published-history readers hold it shared (rounds is
+	// only mutated under the exclusive lock).
+	mu     sync.RWMutex
+	merge  longitudinal.MergeableAggregator // nil when single-shard
+	shards []*collectionShard
+	rounds [][]float64
+}
+
+// collectionShard owns the ingestion state of one stripe of users.
+type collectionShard struct {
 	mu       sync.Mutex
 	agg      longitudinal.Aggregator
 	enrolled map[int]Registration
 	reported map[int]bool
-	rounds   [][]float64
 }
 
 // New returns a collection service for the protocol, decoding payloads
-// with the given decoder.
+// with the given decoder and striping ingestion over one shard per
+// available CPU.
 func New(proto longitudinal.Protocol, decoder Decoder) *Collection {
-	return &Collection{
-		proto:    proto,
-		decoder:  decoder,
-		agg:      proto.NewAggregator(),
-		enrolled: make(map[int]Registration),
-		reported: make(map[int]bool),
+	return NewSharded(proto, decoder, longitudinal.DefaultShards())
+}
+
+// NewSharded is New with an explicit stripe count. shards <= 1 (or an
+// aggregator without merge support) yields a fully serialized service.
+func NewSharded(proto longitudinal.Protocol, decoder Decoder, shards int) *Collection {
+	agg := proto.NewAggregator()
+	c := &Collection{proto: proto, decoder: decoder}
+	ma, mergeable := agg.(longitudinal.MergeableAggregator)
+	if shards < 1 || !mergeable {
+		shards = 1
 	}
+	if shards > 1 {
+		c.merge = ma
+	}
+	c.shards = make([]*collectionShard, shards)
+	for i := range c.shards {
+		sh := &collectionShard{
+			enrolled: make(map[int]Registration),
+			reported: make(map[int]bool),
+		}
+		if c.merge != nil {
+			sh.agg = ma.Fork()
+		} else {
+			sh.agg = agg
+		}
+		c.shards[i] = sh
+	}
+	return c
+}
+
+// Shards returns the number of ingestion stripes.
+func (c *Collection) Shards() int { return len(c.shards) }
+
+// shardOf maps a user onto its stripe. The user ID is mixed first so that
+// contiguous ID ranges spread evenly regardless of stripe count.
+func (c *Collection) shardOf(userID int) *collectionShard {
+	if len(c.shards) == 1 {
+		return c.shards[0]
+	}
+	return c.shards[randsrc.Mix64(uint64(userID))%uint64(len(c.shards))]
 }
 
 // Enroll registers a user's one-time metadata. Re-enrollment with
-// different metadata is rejected: a changed hash function would corrupt
-// the user's support counts.
+// different metadata is rejected: a changed hash function or changed
+// sampled buckets would corrupt the user's support counts.
 func (c *Collection) Enroll(userID int, reg Registration) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if prev, ok := c.enrolled[userID]; ok {
-		if prev.HashSeed != reg.HashSeed || len(prev.Sampled) != len(reg.Sampled) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sh := c.shardOf(userID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if prev, ok := sh.enrolled[userID]; ok {
+		// Sampled buckets compare element-wise: two users with equally
+		// many but different buckets are NOT interchangeable (their
+		// support counts land in different histogram bins).
+		if prev.HashSeed != reg.HashSeed || !slices.Equal(prev.Sampled, reg.Sampled) {
 			return fmt.Errorf("server: user %d already enrolled with different metadata", userID)
 		}
 		return nil
 	}
-	c.enrolled[userID] = reg
+	sh.enrolled[userID] = reg
 	return nil
 }
 
 // Ingest decodes and tallies one user's payload for the current round.
 // Duplicate reports within a round are rejected (they would bias Eq. (3)).
 func (c *Collection) Ingest(userID int, payload []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	reg, ok := c.enrolled[userID]
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sh := c.shardOf(userID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	reg, ok := sh.enrolled[userID]
 	if !ok {
 		return fmt.Errorf("server: user %d not enrolled", userID)
 	}
-	if c.reported[userID] {
+	if sh.reported[userID] {
 		return fmt.Errorf("server: user %d already reported this round", userID)
 	}
 	rep, err := c.decoder.Decode(payload, reg)
 	if err != nil {
 		return fmt.Errorf("server: user %d payload: %w", userID, err)
 	}
-	c.agg.Add(userID, rep)
-	c.reported[userID] = true
+	sh.agg.Add(userID, rep)
+	sh.reported[userID] = true
 	return nil
 }
 
 // CloseRound finalizes the current round, publishes its estimates and
-// opens the next round.
+// opens the next round. The returned slice is the caller's to keep: the
+// published history holds its own copy, so later mutation by the caller
+// cannot corrupt Round's results.
 func (c *Collection) CloseRound() []float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	est := c.agg.EndRound()
-	c.rounds = append(c.rounds, est)
-	for u := range c.reported {
-		delete(c.reported, u)
+	var est []float64
+	if c.merge != nil {
+		for _, sh := range c.shards {
+			c.merge.Merge(sh.agg)
+		}
+		est = c.merge.EndRound()
+	} else {
+		est = c.shards[0].agg.EndRound()
 	}
+	for _, sh := range c.shards {
+		for u := range sh.reported {
+			delete(sh.reported, u)
+		}
+	}
+	c.rounds = append(c.rounds, append([]float64(nil), est...))
 	return est
 }
 
-// Round returns the published estimates of round t (0-based).
+// Round returns a copy of the published estimates of round t (0-based);
+// mutating it cannot corrupt the published history.
 func (c *Collection) Round(t int) ([]float64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if t < 0 || t >= len(c.rounds) {
 		return nil, fmt.Errorf("server: round %d not published (have %d)", t, len(c.rounds))
 	}
-	return c.rounds[t], nil
+	return append([]float64(nil), c.rounds[t]...), nil
 }
 
 // Rounds returns the number of published rounds.
 func (c *Collection) Rounds() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return len(c.rounds)
 }
 
 // Enrolled returns the number of enrolled users.
 func (c *Collection) Enrolled() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.enrolled)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	total := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		total += len(sh.enrolled)
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // ---------------------------------------------------------------------------

@@ -127,6 +127,68 @@ func TestCollectionEnrollmentConflicts(t *testing.T) {
 	}
 }
 
+func TestCollectionEnrollmentSampledBucketConflicts(t *testing.T) {
+	// Regression: re-enrollment used to compare only len(Sampled), so a
+	// dBitFlipPM user re-enrolling with different buckets of the same
+	// length was silently accepted — corrupting support counts.
+	proto, _ := longitudinal.NewDBitFlipPM(20, 10, 3, 2)
+	dec, _ := ForProtocol(proto)
+	col := New(proto, dec)
+	if err := col.Enroll(0, Registration{Sampled: []int{1, 4, 7}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Enroll(0, Registration{Sampled: []int{1, 4, 7}}); err != nil {
+		t.Errorf("idempotent re-enroll rejected: %v", err)
+	}
+	if err := col.Enroll(0, Registration{Sampled: []int{1, 4, 8}}); err == nil {
+		t.Error("re-enroll with different sampled buckets of equal length accepted")
+	}
+	if err := col.Enroll(0, Registration{Sampled: []int{1, 4}}); err == nil {
+		t.Error("re-enroll with fewer sampled buckets accepted")
+	}
+}
+
+func TestCollectionPublishedRoundsImmutable(t *testing.T) {
+	// Regression: CloseRound and Round used to alias the internal history
+	// slice, so a caller mutating the result corrupted published rounds.
+	proto, _ := core.NewBinary(12, 2, 1)
+	dec, _ := ForProtocol(proto)
+	col := New(proto, dec)
+	cl := proto.NewClient(3).(*core.Client)
+	if err := col.Enroll(0, Registration{HashSeed: cl.HashSeed()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Ingest(0, cl.ReportValue(5).AppendBinary(nil)); err != nil {
+		t.Fatal(err)
+	}
+	closed := col.CloseRound()
+	want := append([]float64(nil), closed...)
+	for i := range closed {
+		closed[i] = math.Inf(1) // caller scribbles on the returned slice
+	}
+	got, err := col.Round(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("round history corrupted by caller mutation: est[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+	for i := range got {
+		got[i] = -1 // scribbling on Round's result must not stick either
+	}
+	again, err := col.Round(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if again[v] != want[v] {
+			t.Fatalf("round history corrupted via Round aliasing: est[%d] = %v, want %v", v, again[v], want[v])
+		}
+	}
+}
+
 func TestCollectionRejectsMalformedPayloads(t *testing.T) {
 	proto, _ := longitudinal.NewRAPPOR(64, 2, 1)
 	dec, _ := ForProtocol(proto)

@@ -87,6 +87,12 @@ type Config struct {
 	Seed uint64
 	// Workers bounds concurrent cells; 0 means GOMAXPROCS.
 	Workers int
+	// Shards is the intra-collection parallelism: each round's client
+	// reports are sharded over this many goroutines with per-shard
+	// aggregator forks (see longitudinal.ShardedCollector). 0 or 1 keeps
+	// rounds serial, which is usually right when the grid itself saturates
+	// the CPUs; estimates are bit-identical either way.
+	Shards int
 	// PostProcess transforms each round's estimates before scoring MSE
 	// (extension; the paper's setting is postprocess.None).
 	PostProcess postprocess.Method
@@ -141,34 +147,34 @@ func RunMSE(ds *datasets.Dataset, specs []Spec, cfg Config) ([]Point, error) {
 		truth[t] = ds.TrueFrequencies(t)
 	}
 	return runGrid(ds, specs, cfg, func(proto longitudinal.Protocol, seed uint64) float64 {
-		return mseRun(ds, truth, proto, seed, cfg.PostProcess)
+		return mseRun(ds, truth, proto, seed, cfg.PostProcess, cfg.Shards)
 	})
 }
 
 // mseRun executes one full τ-round collection and returns MSE_avg.
 func mseRun(ds *datasets.Dataset, truth [][]float64, proto longitudinal.Protocol, seed uint64,
-	pp postprocess.Method) float64 {
+	pp postprocess.Method, shards int) float64 {
 	n, tau := ds.N(), ds.Tau()
 	clients := make([]longitudinal.Client, n)
 	for u := range clients {
 		clients[u] = proto.NewClient(randsrc.Derive(seed, uint64(u)))
 	}
-	agg := proto.NewAggregator()
+	collector := longitudinal.NewShardedCollector(proto.NewAggregator(), n, shards)
 
 	// Bucket-domain protocols score against folded truth.
 	fold := func(f []float64) []float64 { return f }
-	if d, ok := proto.(*longitudinal.DBitFlipPM); ok && agg.EstimateDomain() != ds.K {
+	if d, ok := proto.(*longitudinal.DBitFlipPM); ok && collector.Aggregator().EstimateDomain() != ds.K {
 		z := d.Bucketizer()
 		fold = z.FoldFrequencies
 	}
 
 	total := 0.0
 	for t := 0; t < tau; t++ {
-		row := ds.Round(t)
-		for u, v := range row {
-			agg.Add(u, clients[u].Report(v))
+		raw, err := collector.Collect(clients, ds.Round(t))
+		if err != nil {
+			panic(err) // impossible: clients and rounds share the dataset's n
 		}
-		est := postprocess.Apply(pp, agg.EndRound())
+		est := postprocess.Apply(pp, raw)
 		ft := fold(truth[t])
 		sum := 0.0
 		for v := range est {
@@ -356,18 +362,25 @@ func meanStd(vals []float64) (mean, std float64) {
 // Replay drives proto over the whole dataset once and returns the
 // estimates of every round.
 func Replay(ds *datasets.Dataset, proto longitudinal.Protocol, seed uint64) [][]float64 {
+	return ReplaySharded(ds, proto, seed, 1)
+}
+
+// ReplaySharded is Replay with the per-round client loop sharded over the
+// given number of goroutines; estimates are bit-identical to Replay.
+func ReplaySharded(ds *datasets.Dataset, proto longitudinal.Protocol, seed uint64, shards int) [][]float64 {
 	n, tau := ds.N(), ds.Tau()
 	clients := make([]longitudinal.Client, n)
 	for u := range clients {
 		clients[u] = proto.NewClient(randsrc.Derive(seed, uint64(u)))
 	}
-	agg := proto.NewAggregator()
+	collector := longitudinal.NewShardedCollector(proto.NewAggregator(), n, shards)
 	out := make([][]float64, tau)
 	for t := 0; t < tau; t++ {
-		for u, v := range ds.Round(t) {
-			agg.Add(u, clients[u].Report(v))
+		est, err := collector.Collect(clients, ds.Round(t))
+		if err != nil {
+			panic(err) // impossible: clients and rounds share the dataset's n
 		}
-		out[t] = agg.EndRound()
+		out[t] = est
 	}
 	return out
 }

@@ -43,6 +43,11 @@ type Client = longitudinal.Client
 // Aggregator is the server side of a longitudinal protocol.
 type Aggregator = longitudinal.Aggregator
 
+// MergeableAggregator is an Aggregator that supports sharded parallel
+// collection via Fork and Merge. Every aggregator in this repository
+// implements it.
+type MergeableAggregator = longitudinal.MergeableAggregator
+
 // Protocol binds clients and aggregators together.
 type Protocol = longitudinal.Protocol
 
@@ -122,22 +127,36 @@ func NewDBitFlipPM(k, b, d int, epsInf float64) (Protocol, error) {
 // drive a complete collection round with a single call. It is a
 // convenience for simulations and examples; production deployments run
 // Client on devices and Aggregator on the server.
+//
+// Collection is sharded: users are partitioned into contiguous blocks that
+// report and tally on their own goroutines, and the per-shard tallies are
+// merged before estimation. Estimates are bit-identical to a serial
+// collection for any shard count and fixed seed, because all per-user
+// randomness lives in the user's Client and shard tallies are integer
+// counts.
 type Cohort struct {
-	proto   Protocol
-	clients []Client
-	agg     Aggregator
+	proto     Protocol
+	clients   []Client
+	collector *longitudinal.ShardedCollector
 }
 
 // NewCohort creates n clients (seeded deterministically from seed) and a
-// fresh aggregator for proto.
+// fresh aggregator for proto, collecting with one shard per available CPU.
 func NewCohort(proto Protocol, n int, seed uint64) (*Cohort, error) {
+	return NewShardedCohort(proto, n, seed, longitudinal.DefaultShards())
+}
+
+// NewShardedCohort is NewCohort with an explicit collection parallelism:
+// users are split into at most shards blocks collected concurrently.
+// shards <= 1 selects the fully serial path.
+func NewShardedCohort(proto Protocol, n int, seed uint64, shards int) (*Cohort, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("loloha: cohort needs at least one user, got %d", n)
 	}
 	c := &Cohort{
-		proto:   proto,
-		clients: make([]Client, n),
-		agg:     proto.NewAggregator(),
+		proto:     proto,
+		clients:   make([]Client, n),
+		collector: longitudinal.NewShardedCollector(proto.NewAggregator(), n, shards),
 	}
 	for u := range c.clients {
 		c.clients[u] = proto.NewClient(randsrc.Derive(seed, uint64(u)))
@@ -148,16 +167,16 @@ func NewCohort(proto Protocol, n int, seed uint64) (*Cohort, error) {
 // N returns the cohort size.
 func (c *Cohort) N() int { return len(c.clients) }
 
+// Shards returns the cohort's effective collection parallelism.
+func (c *Cohort) Shards() int { return c.collector.Shards() }
+
 // Collect runs one collection round: values[u] is user u's current value.
 // It returns the round's frequency estimates.
 func (c *Cohort) Collect(values []int) ([]float64, error) {
 	if len(values) != len(c.clients) {
 		return nil, fmt.Errorf("loloha: got %d values for %d users", len(values), len(c.clients))
 	}
-	for u, v := range values {
-		c.agg.Add(u, c.clients[u].Report(v))
-	}
-	return c.agg.EndRound(), nil
+	return c.collector.Collect(c.clients, values)
 }
 
 // PrivacySpent returns each user's longitudinal privacy loss ε̌ so far.
@@ -221,13 +240,20 @@ type Collection = server.Collection
 type Registration = server.Registration
 
 // NewCollection returns a collection service for the protocol, selecting
-// the matching payload decoder automatically.
+// the matching payload decoder automatically. Ingestion is striped over
+// one shard per available CPU.
 func NewCollection(proto Protocol) (*Collection, error) {
+	return NewShardedCollection(proto, longitudinal.DefaultShards())
+}
+
+// NewShardedCollection is NewCollection with an explicit ingestion stripe
+// count (shards <= 1 fully serializes the service).
+func NewShardedCollection(proto Protocol, shards int) (*Collection, error) {
 	dec, err := server.ForProtocol(proto)
 	if err != nil {
 		return nil, err
 	}
-	return server.New(proto, dec), nil
+	return server.NewSharded(proto, dec, shards), nil
 }
 
 // ---------------------------------------------------------------------------
