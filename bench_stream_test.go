@@ -1,0 +1,90 @@
+// Benchmarks for the Stream ingestion paths: per-report Ingest acquires a
+// shard lock per payload, IngestBatch decodes outside the locks and takes
+// one lock acquisition per shard per batch — the amortization this file
+// measures. Workers ingest concurrently, the deployment the service is
+// built for; with a single stripe every per-report call contends on one
+// mutex while the batch path takes it once per batch.
+// BENCH_ingest.json records the checked-in baseline.
+//
+//	go test -bench 'IngestPath' -benchmem
+package loloha_test
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	loloha "github.com/loloha-ldp/loloha"
+)
+
+func BenchmarkIngestPath(b *testing.B) {
+	const k, n, batchSize = 64, 50_000, 4096
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4 // still measures lock contention on small boxes
+	}
+	type seeded interface{ HashSeed() uint64 }
+	for _, shards := range []int{1, 8} {
+		proto, err := loloha.NewBiLOLOHA(k, 2, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream, err := loloha.NewStream(proto, loloha.WithShards(shards))
+		if err != nil {
+			b.Fatal(err)
+		}
+		userIDs := make([]int, n)
+		payloads := make([][]byte, n)
+		for u := 0; u < n; u++ {
+			cl := proto.NewClient(uint64(u))
+			if err := stream.Enroll(u, loloha.Registration{HashSeed: cl.(seeded).HashSeed()}); err != nil {
+				b.Fatal(err)
+			}
+			userIDs[u] = u
+			payloads[u] = cl.Report(u % k).AppendBinary(nil)
+		}
+		// Each worker owns a contiguous block of users and ingests it
+		// either one report or one batch slice at a time.
+		ingestRound := func(b *testing.B, batch bool) {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					lo, hi := w*n/workers, (w+1)*n/workers
+					if batch {
+						for ; lo < hi; lo += batchSize {
+							end := min(lo+batchSize, hi)
+							if err := stream.IngestBatch(userIDs[lo:end], payloads[lo:end]); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+						return
+					}
+					for u := lo; u < hi; u++ {
+						if err := stream.Ingest(u, payloads[u]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			benchSink = stream.CloseRound()
+		}
+		for _, batch := range []bool{false, true} {
+			name := "per-report"
+			if batch {
+				name = "batch"
+			}
+			b.Run(fmt.Sprintf("%s/shards=%d", name, shards), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					ingestRound(b, batch)
+				}
+				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+			})
+		}
+	}
+}

@@ -26,7 +26,7 @@ import (
 )
 
 // benchSink prevents dead-code elimination of benchmark results.
-var benchSink interface{}
+var benchSink any
 
 // ---------------------------------------------------------------------------
 // Fig. 1: optimal g curves (closed form, full paper grid).

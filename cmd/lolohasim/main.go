@@ -66,10 +66,18 @@ func run(args []string) error {
 	fs.IntVar(&o.n, "n", 10000, "cohort size for fig2's numeric variance")
 	fs.Int64Var(&seed64, "seed", 42, "experiment seed")
 	fs.IntVar(&o.workers, "workers", 0, "parallel cells (0 = GOMAXPROCS)")
-	fs.IntVar(&o.shards, "shards", 1, "per-collection user shards (results identical for any value)")
+	fs.IntVar(&o.shards, "shards", 1, "per-collection user shards, >= 0 (0 or 1 serial; results identical for any value)")
 	fs.StringVar(&o.csvDir, "csv", "", "directory to also write CSV results into")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+	// Reject rather than silently coerce: a negative count is a typo, and
+	// the layers below would quietly serialize the collection.
+	if o.shards < 0 {
+		return fmt.Errorf("bad -shards: must be >= 0, got %d", o.shards)
+	}
+	if o.workers < 0 {
+		return fmt.Errorf("bad -workers: must be >= 0, got %d", o.workers)
 	}
 	o.seed = uint64(seed64)
 
@@ -173,7 +181,7 @@ func fig1(o options) error {
 	tbl := report.NewTable(append([]string{"alpha \\ eps_inf"}, floatHeaders(o.eps)...)...)
 	var csv [][]string
 	for _, a := range o.alphas {
-		row := []interface{}{fmt.Sprintf("%.1f", a)}
+		row := []any{fmt.Sprintf("%.1f", a)}
 		for _, p := range pts {
 			if p.Alpha == a {
 				row = append(row, p.OptimalG)
@@ -200,7 +208,7 @@ func fig2(o options) error {
 		fmt.Printf("\n-- eps1 = %.1f * eps_inf --\n", a)
 		tbl := report.NewTable(append([]string{"protocol"}, floatHeaders(o.eps)...)...)
 		for _, proto := range analysis.Fig2Protocols {
-			row := []interface{}{proto}
+			row := []any{proto}
 			for _, p := range pts {
 				if p.Protocol == proto && p.Alpha == a {
 					row = append(row, p.VStar)
@@ -285,7 +293,7 @@ func table2(o options, ds *datasets.Dataset) error {
 	tbl := report.NewTable("eps_inf", "d=1", fmt.Sprintf("d=b (%d)", b))
 	var csv [][]string
 	for _, e := range o.eps {
-		row := []interface{}{fmt.Sprintf("%.1f", e)}
+		row := []any{fmt.Sprintf("%.1f", e)}
 		for _, p := range pts {
 			if p.EpsInf == e {
 				row = append(row, fmt.Sprintf("%.4f%%", p.Mean*100))
@@ -359,7 +367,7 @@ func printPoints(pts []simulation.Point, o options, metric string) {
 		tbl := report.NewTable(append([]string{"protocol"}, floatHeaders(o.eps)...)...)
 		protos := orderedProtocols(pts)
 		for _, proto := range protos {
-			row := []interface{}{proto}
+			row := []any{proto}
 			for _, e := range o.eps {
 				cell := "-"
 				for _, p := range pts {

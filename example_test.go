@@ -6,22 +6,49 @@ import (
 	loloha "github.com/loloha-ldp/loloha"
 )
 
-// The simplest possible deployment: one cohort, one round.
-func ExampleNewCohort() {
+// The simplest possible deployment: one stream, an attached simulation
+// cohort, one round.
+func ExampleNewStream() {
 	proto, err := loloha.NewBiLOLOHA(4, 1.0, 0.5)
 	if err != nil {
 		panic(err)
 	}
-	cohort, err := loloha.NewCohort(proto, 3, 42)
+	stream, err := loloha.NewStream(proto, loloha.WithCohort(3, 42))
 	if err != nil {
 		panic(err)
 	}
-	est, err := cohort.Collect([]int{0, 0, 1})
+	res, err := stream.Collect([]int{0, 0, 1})
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println(len(est), "estimates; worst ε̌ =", cohort.MaxPrivacySpent())
-	// Output: 4 estimates; worst ε̌ = 1
+	fmt.Println(len(res.Raw), "estimates from", res.Reports, "reports; worst ε̌ =", stream.MaxPrivacySpent())
+	// Output: 4 estimates from 3 reports; worst ε̌ = 1
+}
+
+// Streaming consumption: every closed round is published to subscribers
+// as a RoundResult.
+func ExampleStream_Subscribe() {
+	proto, err := loloha.NewBiLOLOHA(4, 1.0, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	stream, err := loloha.NewStream(proto, loloha.WithCohort(3, 42))
+	if err != nil {
+		panic(err)
+	}
+	results := stream.Subscribe()
+	for round := 0; round < 2; round++ {
+		if _, err := stream.Collect([]int{0, 1, 2}); err != nil {
+			panic(err)
+		}
+	}
+	stream.Close()
+	for res := range results {
+		fmt.Printf("round %d: %d reports\n", res.Round, res.Reports)
+	}
+	// Output:
+	// round 0: 3 reports
+	// round 1: 3 reports
 }
 
 // Choosing the reduced domain size: the closed-form optimum of Eq. (6).
@@ -44,28 +71,34 @@ func ExampleNewBiLOLOHA() {
 	// Output: k=1000 compresses to g=2; lifetime budget 3.0 vs RAPPOR's 1500.0
 }
 
-// Wire-level ingestion: enroll once, then stream payload bytes.
-func ExampleNewCollection() {
+// Wire-level ingestion: enroll once, then stream payload bytes — one
+// report at a time or a whole batch per call.
+func ExampleStream_IngestBatch() {
 	proto, err := loloha.NewBiLOLOHA(8, 1.0, 0.5)
 	if err != nil {
 		panic(err)
 	}
-	col, err := loloha.NewCollection(proto)
+	stream, err := loloha.NewStream(proto)
 	if err != nil {
 		panic(err)
 	}
-	// One device:
-	client := proto.NewClient(7)
-	rep := client.Report(3)
-	// Registration metadata travels once; payloads every round.
+	// Two devices:
 	type seeded interface{ HashSeed() uint64 }
-	if err := col.Enroll(0, loloha.Registration{HashSeed: client.(seeded).HashSeed()}); err != nil {
+	var userIDs []int
+	var payloads [][]byte
+	for u := 0; u < 2; u++ {
+		client := proto.NewClient(uint64(7 + u))
+		// Registration metadata travels once; payloads every round.
+		if err := stream.Enroll(u, loloha.Registration{HashSeed: client.(seeded).HashSeed()}); err != nil {
+			panic(err)
+		}
+		userIDs = append(userIDs, u)
+		payloads = append(payloads, client.Report(3).AppendBinary(nil))
+	}
+	if err := stream.IngestBatch(userIDs, payloads); err != nil {
 		panic(err)
 	}
-	if err := col.Ingest(0, rep.AppendBinary(nil)); err != nil {
-		panic(err)
-	}
-	est := col.CloseRound()
-	fmt.Println(len(est), "estimates from", col.Enrolled(), "user")
-	// Output: 8 estimates from 1 user
+	res := stream.CloseRound()
+	fmt.Println(len(res.Raw), "estimates from", stream.Enrolled(), "users")
+	// Output: 8 estimates from 2 users
 }

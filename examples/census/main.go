@@ -44,7 +44,7 @@ func main() {
 	}
 	fmt.Printf("theoretical V* per bin (Eq. 5): %.3e\n\n", vstar)
 
-	cohort, err := loloha.NewCohort(proto, users, 5)
+	stream, err := loloha.NewStream(proto, loloha.WithCohort(users, 5))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,9 +65,11 @@ func main() {
 				weights[u] = clamp(weights[u]+rng.Intn(25)-12, 0, k-1)
 			}
 		}
-		if est, err = cohort.Collect(weights); err != nil {
+		res, err := stream.Collect(weights)
+		if err != nil {
 			log.Fatal(err)
 		}
+		est = res.Raw
 	}
 
 	truth := make([]float64, k)
@@ -89,7 +91,7 @@ func main() {
 	msev /= float64(k)
 	fmt.Printf("\nfinal-round MSE: %.3e (theory V*: %.3e)\n", msev, vstar)
 	fmt.Printf("worst user ε̌ after %d rounds of churn: %.2f of cap %.2f\n",
-		rounds, cohort.MaxPrivacySpent(), proto.LongitudinalBudget())
+		rounds, stream.MaxPrivacySpent(), proto.LongitudinalBudget())
 	fmt.Printf("per-user uplink: %d bits/round vs %d bits for RAPPOR (%dx saving)\n",
 		proto.SteadyReportBits(), k, k/proto.SteadyReportBits())
 }

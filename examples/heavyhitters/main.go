@@ -3,8 +3,10 @@
 // shifts, without ever seeing a single raw value.
 //
 // A cohort monitors k = 200 possible error codes; code 17 dominates until
-// a "deploy" at round 12 makes code 93 spike. The tracker, fed only
-// LDP estimates, detects both the steady hitter and the regression.
+// a "deploy" at round 12 makes code 93 spike. The Stream owns the whole
+// pipeline: WithHeavyHitters folds every round's estimates into a tracker
+// and a Subscribe channel delivers RoundResults — estimates plus the
+// current heavy-hitter set — to the consumer as rounds close.
 //
 //	go run ./examples/heavyhitters
 package main
@@ -30,23 +32,38 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cohort, err := loloha.NewCohort(proto, users, 8)
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	threshold := loloha.SuggestedHeavyHitterThreshold(proto.Params(), users, 0.4, 3)
 	if threshold < 0.04 {
 		threshold = 0.04 // domain-knowledge floor: we care about >4% shares
 	}
-	tracker, err := loloha.NewHeavyHitterTracker(loloha.HeavyHitterConfig{
-		K: k, Threshold: threshold, Alpha: 0.4,
-	})
+	stream, err := loloha.NewStream(proto,
+		loloha.WithCohort(users, 8),
+		loloha.WithHeavyHitters(loloha.HeavyHitterConfig{
+			K: k, Threshold: threshold, Alpha: 0.4,
+		}),
+		loloha.WithRoundCapacity(rounds),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("OLOLOHA g=%d; detection threshold %.3f (3 noise floors, smoothed)\n\n",
 		proto.G(), threshold)
+
+	// The monitoring consumer: reads published rounds from the
+	// subscription, decoupled from the collection loop.
+	results := stream.Subscribe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for res := range results {
+			fmt.Printf("round %2d: %d hitter(s):", res.Round, len(res.HeavyHitters))
+			for _, h := range res.HeavyHitters {
+				fmt.Printf("  code %d (%.3f, since round %d)", h.Value, h.Freq, h.Since)
+			}
+			fmt.Println()
+		}
+	}()
 
 	rng := rand.New(rand.NewSource(6))
 	codes := make([]int, users)
@@ -63,22 +80,15 @@ func main() {
 				codes[u] = rng.Intn(k)
 			}
 		}
-		est, err := cohort.Collect(codes)
-		if err != nil {
+		if _, err := stream.Collect(codes); err != nil {
 			log.Fatal(err)
 		}
-		tracker.Observe(est)
-
-		hh := tracker.HeavyHitters()
-		fmt.Printf("round %2d: %d hitter(s):", t, len(hh))
-		for _, h := range hh {
-			fmt.Printf("  code %d (%.3f, since round %d)", h.Value, h.Freq, h.Since)
-		}
-		fmt.Println()
 	}
+	stream.Close()
+	<-done
 
 	fmt.Printf("\nworst user ε̌ after %d rounds: %.2f (cap %.1f)\n",
-		rounds, cohort.MaxPrivacySpent(), proto.LongitudinalBudget())
+		rounds, stream.MaxPrivacySpent(), proto.LongitudinalBudget())
 	fmt.Println("code 93 was detected within a few rounds of the regression,")
 	fmt.Println("from estimates alone — no raw error reports were collected.")
 }

@@ -28,7 +28,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cohort, err := loloha.NewCohort(proto, users, 1 /* seed */)
+	// One Stream is the whole pipeline; WithCohort attaches in-process
+	// simulation clients so Collect drives complete rounds from values.
+	stream, err := loloha.NewStream(proto, loloha.WithCohort(users, 1 /* seed */))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,13 +48,13 @@ func main() {
 				values[u] = (values[u] + 1) % k
 			}
 		}
-		est, err := cohort.Collect(values)
+		res, err := stream.Collect(values)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("round %2d: f̂(0)=%+.4f f̂(%d)=%+.4f  worst user ε̌ = %.2f (cap %.2f)\n",
-			t, est[0], k-1, est[k-1],
-			cohort.MaxPrivacySpent(), proto.LongitudinalBudget())
+		fmt.Printf("round %2d: f̂(0)=%+.4f f̂(%d)=%+.4f  %d reports  worst user ε̌ = %.2f (cap %.2f)\n",
+			res.Round, res.Raw[0], k-1, res.Raw[k-1], res.Reports,
+			stream.MaxPrivacySpent(), proto.LongitudinalBudget())
 	}
 
 	fmt.Println("\nEvery estimate above is unbiased; the privacy ledger is bounded")

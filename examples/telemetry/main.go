@@ -34,11 +34,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	lolohaCohort, err := loloha.NewCohort(lolohaProto, users, 11)
+	// Identical cohorts behind two Streams. Simplex projection removes the
+	// negative noise excursions at no privacy cost (post-processing), so
+	// every RoundResult carries both Raw and projected Estimates.
+	lolohaStream, err := loloha.NewStream(lolohaProto,
+		loloha.WithCohort(users, 11), loloha.WithPostProcess(loloha.PostSimplex))
 	if err != nil {
 		log.Fatal(err)
 	}
-	rapporCohort, err := loloha.NewCohort(rapporProto, users, 11)
+	rapporStream, err := loloha.NewStream(rapporProto, loloha.WithCohort(users, 11))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +54,7 @@ func main() {
 	}
 
 	fmt.Println("round  mean-true  mean-est(LOLOHA)  worst ε̌ LOLOHA  worst ε̌ RAPPOR")
-	var lastEst []float64
+	var last loloha.RoundResult
 	for t := 0; t < rounds; t++ {
 		// Usage evolves: most users wiggle around their habit; some churn.
 		for u := range usage {
@@ -61,31 +65,29 @@ func main() {
 				usage[u] = clamp(usage[u]+rng.Intn(21)-10, 0, k-1)
 			}
 		}
-		est, err := lolohaCohort.Collect(usage)
+		res, err := lolohaStream.Collect(usage)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := rapporCohort.Collect(usage); err != nil {
+		if _, err := rapporStream.Collect(usage); err != nil {
 			log.Fatal(err)
 		}
-		lastEst = est
+		last = res
 		fmt.Printf("%5d  %9.1f  %16.1f  %14.2f  %14.2f\n",
-			t, histMean(trueFreq(usage)), histMean(est),
-			lolohaCohort.MaxPrivacySpent(), rapporCohort.MaxPrivacySpent())
+			res.Round, histMean(trueFreq(usage)), histMean(res.Raw),
+			lolohaStream.MaxPrivacySpent(), rapporStream.MaxPrivacySpent())
 	}
 
 	fmt.Printf("\nLongitudinal caps: LOLOHA %.1f (g·ε∞) vs RAPPOR %.1f (k·ε∞) — a %.0fx gap.\n",
 		lolohaProto.LongitudinalBudget(), float64(k)*epsInf,
 		float64(k)*epsInf/lolohaProto.LongitudinalBudget())
 
-	// A coarse view of the final histogram: 30-minute bands. Projecting
-	// onto the simplex removes the negative noise excursions at no privacy
-	// cost (post-processing).
+	// A coarse view of the final histogram: 30-minute bands over the
+	// simplex-projected estimates the stream already computed.
 	fmt.Println("\nEstimated final usage histogram (30-minute bands, simplex-projected):")
-	lastEst = loloha.ApplyPostProcess(loloha.PostSimplex, lastEst)
 	bands := make([]float64, 12)
 	labels := make([]string, 12)
-	for v, f := range lastEst {
+	for v, f := range last.Estimates {
 		bands[v/30] += f
 	}
 	for i := range labels {

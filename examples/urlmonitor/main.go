@@ -46,7 +46,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cohort, err := loloha.NewCohort(proto, users, 3)
+	stream, err := loloha.NewStream(proto, loloha.WithCohort(users, 3))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,9 +67,11 @@ func main() {
 		}
 		values := make([]int, users)
 		copy(values, home)
-		if est, err = cohort.Collect(values); err != nil {
+		res, err := stream.Collect(values)
+		if err != nil {
 			log.Fatal(err)
 		}
+		est = res.Raw
 	}
 
 	truth := make([]float64, k)
@@ -82,7 +84,7 @@ func main() {
 		fmt.Printf("%-16s  %.3f   %+.3f\n", codec.Value(i), truth[i], est[i])
 	}
 	fmt.Printf("\nworst user ε̌: %.2f (cap %.1f) after %d rounds\n",
-		cohort.MaxPrivacySpent(), proto.LongitudinalBudget(), rounds)
+		stream.MaxPrivacySpent(), proto.LongitudinalBudget(), rounds)
 
 	// ----------------------------------------------------------------
 	// The averaging attack: why fresh per-round noise is not enough.

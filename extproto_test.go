@@ -1,0 +1,161 @@
+// An out-of-package protocol plugged into Stream: the decoder resolution
+// is open (WireProtocol interface + RegisterDecoder registry), so a
+// protocol defined entirely outside the library — here a noise-free
+// histogram protocol in this external test package — round-trips through
+// the wire service end to end. Before the redesign this was impossible:
+// internal/server enumerated the repository's protocol types in a closed
+// type-switch.
+package loloha_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	loloha "github.com/loloha-ldp/loloha"
+)
+
+// histBase is a trivial "protocol": clients report their value verbatim
+// (no privacy — it exists to exercise the wire plumbing, not the
+// estimators). It deliberately does NOT implement loloha.WireProtocol, so
+// decoder resolution for it must go through the registry.
+type histBase struct {
+	k    int
+	name string
+}
+
+func (p *histBase) Name() string          { return p.name }
+func (p *histBase) K() int                { return p.k }
+func (p *histBase) SteadyReportBits() int { return 8 }
+
+func (p *histBase) NewClient(seed uint64) loloha.Client { return &histClient{k: p.k} }
+func (p *histBase) NewAggregator() loloha.Aggregator {
+	return &histAgg{k: p.k, counts: make([]int64, p.k)}
+}
+
+// histProto adds WireDecoder, making the protocol self-describing.
+type histProto struct{ histBase }
+
+// WireDecoder implements loloha.WireProtocol.
+func (p *histProto) WireDecoder() loloha.Decoder { return histDecoder{k: p.k} }
+
+func newExternalProtocol(k int, selfDecoding bool) loloha.Protocol {
+	if selfDecoding {
+		return &histProto{histBase{k: k, name: "ext-hist"}}
+	}
+	return &histBase{k: k, name: "ext-hist-registered"}
+}
+
+// Statically assert which variant satisfies the interface.
+var (
+	_ loloha.WireProtocol = (*histProto)(nil)
+	_ loloha.Protocol     = (*histBase)(nil)
+)
+
+type histClient struct{ k int }
+
+func (c *histClient) Report(v int) loloha.Report { return histReport{v: v} }
+func (c *histClient) Charge(v int)               {}
+func (c *histClient) PrivacySpent() float64      { return math.Inf(1) } // no privacy at all
+
+type histReport struct{ v int }
+
+func (r histReport) AppendBinary(dst []byte) []byte { return append(dst, byte(r.v)) }
+
+type histDecoder struct{ k int }
+
+func (d histDecoder) Decode(payload []byte, _ loloha.Registration) (loloha.Report, error) {
+	if len(payload) != 1 {
+		return nil, fmt.Errorf("ext-hist: payload is %d bytes, want 1", len(payload))
+	}
+	v := int(payload[0])
+	if v >= d.k {
+		return nil, fmt.Errorf("ext-hist: value %d outside [0,%d)", v, d.k)
+	}
+	return histReport{v: v}, nil
+}
+
+type histAgg struct {
+	k      int
+	counts []int64
+	n      int
+}
+
+func (a *histAgg) Add(userID int, rep loloha.Report) { a.counts[rep.(histReport).v]++; a.n++ }
+func (a *histAgg) EstimateDomain() int               { return a.k }
+func (a *histAgg) EndRound() []float64 {
+	est := make([]float64, a.k)
+	if a.n > 0 {
+		for v, c := range a.counts {
+			est[v] = float64(c) / float64(a.n)
+		}
+	}
+	clear(a.counts)
+	a.n = 0
+	return est
+}
+
+// (histAgg is deliberately NOT mergeable: the stream must degrade to a
+// single shard and still work.)
+
+func runExternalProtocol(t *testing.T, proto loloha.Protocol, opts ...loloha.StreamOption) {
+	t.Helper()
+	const n = 64
+	stream, err := loloha.NewStream(proto, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stream.Shards(); got != 1 {
+		t.Fatalf("non-mergeable external aggregator got %d shards, want serial fallback", got)
+	}
+	sub := stream.Subscribe()
+	userIDs := make([]int, n)
+	payloads := make([][]byte, n)
+	for u := 0; u < n; u++ {
+		if err := stream.Enroll(u, loloha.Registration{}); err != nil {
+			t.Fatal(err)
+		}
+		userIDs[u] = u
+		payloads[u] = proto.NewClient(0).Report(u % 4).AppendBinary(nil)
+	}
+	if err := stream.IngestBatch(userIDs, payloads); err != nil {
+		t.Fatal(err)
+	}
+	stream.CloseRound()
+	res := <-sub
+	for v := 0; v < 4; v++ {
+		if math.Abs(res.Estimates[v]-0.25) > 1e-12 {
+			t.Fatalf("est[%d] = %v, want 0.25 exactly (protocol is noise-free)", v, res.Estimates[v])
+		}
+	}
+	if err := stream.Ingest(0, []byte{0xFF}); err == nil {
+		t.Fatal("out-of-domain external payload accepted")
+	}
+	if err := stream.Ingest(1, []byte{0x01, 0x02}); err == nil {
+		t.Fatal("over-length external payload accepted")
+	}
+}
+
+func TestExternalWireProtocolRoundTrip(t *testing.T) {
+	runExternalProtocol(t, newExternalProtocol(10, true))
+}
+
+func TestExternalRegisteredDecoderRoundTrip(t *testing.T) {
+	proto := newExternalProtocol(10, false)
+	// Without a registry entry the protocol is unknown...
+	if _, err := loloha.NewStream(proto); err == nil {
+		t.Fatal("unregistered external protocol accepted")
+	}
+	// ...and with one it round-trips like any built-in.
+	loloha.RegisterDecoder(proto.Name(), func(p loloha.Protocol) (loloha.Decoder, error) {
+		return histDecoder{k: p.K()}, nil
+	})
+	defer loloha.RegisterDecoder(proto.Name(), nil)
+	runExternalProtocol(t, proto)
+}
+
+func TestExternalDecoderOptionRoundTrip(t *testing.T) {
+	// WithDecoder bypasses resolution entirely.
+	proto := newExternalProtocol(10, false)
+	runExternalProtocol(t, proto, loloha.WithDecoder(histDecoder{k: 10}))
+}

@@ -177,6 +177,9 @@ func (c *ChainUE) ApproxVariance(n int) float64 { return c.params.ApproxVariance
 // SteadyReportBits implements Protocol: a UE report is k bits per round.
 func (c *ChainUE) SteadyReportBits() int { return c.k }
 
+// WireDecoder implements WireProtocol.
+func (c *ChainUE) WireDecoder() Decoder { return UEDecoder{K: c.k} }
+
 // NewClient implements Protocol.
 func (c *ChainUE) NewClient(seed uint64) Client {
 	return &chainUEClient{

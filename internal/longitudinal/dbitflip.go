@@ -82,6 +82,9 @@ func (m *DBitFlipPM) ApproxVariance(n int) float64 {
 // SteadyReportBits implements Protocol: d bits per round (Table 1).
 func (m *DBitFlipPM) SteadyReportBits() int { return m.d }
 
+// WireDecoder implements WireProtocol.
+func (m *DBitFlipPM) WireDecoder() Decoder { return DBitDecoder{} }
+
 // NewClient implements Protocol.
 func (m *DBitFlipPM) NewClient(seed uint64) Client {
 	r := randsrc.NewSeeded(randsrc.Derive(seed, 0xDB17))

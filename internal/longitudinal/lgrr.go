@@ -73,6 +73,9 @@ func (m *LGRR) SteadyReportBits() int {
 	return int(math.Ceil(math.Log2(float64(m.k))))
 }
 
+// WireDecoder implements WireProtocol.
+func (m *LGRR) WireDecoder() Decoder { return GRRDecoder{K: m.k} }
+
 // NewClient implements Protocol.
 func (m *LGRR) NewClient(seed uint64) Client {
 	return &lgrrClient{

@@ -27,8 +27,10 @@ type ShardedCollector struct {
 }
 
 // NewShardedCollector partitions n users into at most shards contiguous
-// blocks tallied by forks of agg. shards <= 1 (or a non-mergeable agg)
-// selects the serial path; shards is clamped to n.
+// blocks tallied by forks of agg. shards <= 1 — including any negative
+// value — or a non-mergeable agg selects the serial path; shards is
+// clamped to n. Callers that want to reject negative shard counts (the
+// public constructors do) must validate before constructing.
 func NewShardedCollector(agg Aggregator, n, shards int) *ShardedCollector {
 	c := &ShardedCollector{agg: agg, n: n}
 	if shards > n {
@@ -64,15 +66,27 @@ func (c *ShardedCollector) Aggregator() Aggregator { return c.agg }
 // tallied for every user u and the round's estimates returned. clients and
 // values must have the length the collector was constructed for.
 func (c *ShardedCollector) Collect(clients []Client, values []int) ([]float64, error) {
+	if err := c.Tally(clients, values); err != nil {
+		return nil, err
+	}
+	return c.agg.EndRound(), nil
+}
+
+// Tally is Collect without the round finalization: every report lands in
+// the collector's merge target but EndRound is left to the caller, so
+// collector tallies can share a round with reports added to the target
+// through other paths (the Stream service mixes wire ingestion and cohort
+// collection this way).
+func (c *ShardedCollector) Tally(clients []Client, values []int) error {
 	if len(clients) != c.n || len(values) != c.n {
-		return nil, fmt.Errorf("longitudinal: sharded collector built for %d users, got %d clients / %d values",
+		return fmt.Errorf("longitudinal: sharded collector built for %d users, got %d clients / %d values",
 			c.n, len(clients), len(values))
 	}
 	if len(c.forks) == 0 {
 		for u, v := range values {
 			c.agg.Add(u, clients[u].Report(v))
 		}
-		return c.agg.EndRound(), nil
+		return nil
 	}
 	// Client/aggregator panics (caller bugs like out-of-range values) are
 	// re-raised on the caller's stack, so sharding keeps the serial path's
@@ -99,7 +113,7 @@ func (c *ShardedCollector) Collect(clients []Client, values []int) ([]float64, e
 	for _, fork := range c.forks {
 		ma.Merge(fork)
 	}
-	return c.agg.EndRound(), nil
+	return nil
 }
 
 // MergeCounts folds src's tallies into dst and zeroes src: the shared

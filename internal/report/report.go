@@ -21,7 +21,7 @@ func NewTable(header ...string) *Table {
 }
 
 // AddRow appends a row; cells are stringified with %v.
-func (t *Table) AddRow(cells ...interface{}) {
+func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {

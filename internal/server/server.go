@@ -1,301 +1,152 @@
-// Package server implements a wire-level collection service on top of the
-// longitudinal protocols: users enroll once with their registration
+// Package server implements the wire-level collection service on top of
+// the longitudinal protocols: users enroll once with their registration
 // metadata (hash seed for LOLOHA, sampled buckets for dBitFlipPM, nothing
 // for UE/GRR chains), then stream fixed-size round payloads as raw bytes.
-// The service decodes, tallies and publishes per-round estimates.
+// The service decodes, tallies and publishes per-round results.
 //
-// This is the production-facing face of the library: everything the
-// simulation harness does with in-memory Report values, the Collection
-// type does from bytes — and tests prove the two paths produce identical
-// estimates.
+// Stream is the production-facing face of the library: everything the
+// simulation harness does with in-memory Report values, a Stream does from
+// bytes — and tests prove the paths produce identical estimates. The
+// Collection type and its constructors are the deprecated pre-Stream
+// surface, kept as thin shims.
+//
+// Payload decoding is open: any protocol implementing
+// longitudinal.WireProtocol supplies its own decoder, and protocols that
+// cannot be modified are hooked in through RegisterDecoder. Nothing in
+// this package enumerates protocol types.
 package server
 
 import (
 	"fmt"
-	"slices"
 	"sync"
 
-	"github.com/loloha-ldp/loloha/internal/core"
 	"github.com/loloha-ldp/loloha/internal/longitudinal"
-	"github.com/loloha-ldp/loloha/internal/randsrc"
 )
 
 // Registration carries a user's one-time enrollment metadata.
-type Registration struct {
-	// HashSeed identifies a LOLOHA user's hash function (Algorithm 1,
-	// "Send H").
-	HashSeed uint64
-	// Sampled lists a dBitFlipPM user's fixed sampled buckets.
-	Sampled []int
-}
+type Registration = longitudinal.Registration
 
 // Decoder turns a round payload into a protocol report for an enrolled
-// user. Implementations exist for every protocol in this repository.
-type Decoder interface {
-	Decode(payload []byte, reg Registration) (longitudinal.Report, error)
+// user.
+type Decoder = longitudinal.Decoder
+
+// ---------------------------------------------------------------------------
+// Decoder resolution: WireProtocol first, then the registry.
+
+var (
+	registryMu      sync.RWMutex
+	decoderRegistry = map[string]func(longitudinal.Protocol) (Decoder, error){}
+)
+
+// RegisterDecoder associates a decoder factory with a protocol name
+// (Protocol.Name), for protocols that cannot implement
+// longitudinal.WireProtocol themselves. A WireProtocol implementation
+// always wins over a registry entry. Registering the same name twice
+// replaces the earlier factory.
+func RegisterDecoder(name string, mk func(longitudinal.Protocol) (Decoder, error)) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if mk == nil {
+		delete(decoderRegistry, name)
+		return
+	}
+	decoderRegistry[name] = mk
 }
 
-// Collection is a thread-safe multi-round collection service for one
-// protocol. Rounds are explicit: reports land in the current round until
-// CloseRound is called, which publishes the round's estimates.
+// ForProtocol resolves the payload decoder for a protocol: the protocol's
+// own WireDecoder when it implements longitudinal.WireProtocol (every
+// protocol in this repository does), otherwise a factory registered under
+// its name via RegisterDecoder.
+func ForProtocol(p longitudinal.Protocol) (Decoder, error) {
+	if p == nil {
+		return nil, fmt.Errorf("server: nil protocol")
+	}
+	if wp, ok := p.(longitudinal.WireProtocol); ok {
+		return wp.WireDecoder(), nil
+	}
+	registryMu.RLock()
+	mk := decoderRegistry[p.Name()]
+	registryMu.RUnlock()
+	if mk != nil {
+		return mk(p)
+	}
+	return nil, fmt.Errorf("server: no decoder for %T: implement longitudinal.WireProtocol or RegisterDecoder(%q, ...)",
+		p, p.Name())
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated pre-Stream surface.
+
+// Collection is the deprecated pre-Stream collection service: the same
+// engine with []float64 results instead of RoundResult.
 //
-// Internally the service is striped: users hash onto shards, each with its
-// own lock, enrollment/report maps and aggregator fork, so concurrent
-// Ingest calls from different shards never contend. CloseRound acts as a
-// round barrier — it excludes all ingestion, merges the shard tallies and
-// publishes the estimates. With a non-mergeable aggregator the service
-// degrades to a single shard (the pre-striping behaviour).
+// Deprecated: use Stream.
 type Collection struct {
-	proto   longitudinal.Protocol
-	decoder Decoder
-
-	// mu is the round barrier: CloseRound holds it exclusively; Enroll,
-	// Ingest and the published-history readers hold it shared (rounds is
-	// only mutated under the exclusive lock).
-	mu     sync.RWMutex
-	merge  longitudinal.MergeableAggregator // nil when single-shard
-	shards []*collectionShard
-	rounds [][]float64
-}
-
-// collectionShard owns the ingestion state of one stripe of users.
-type collectionShard struct {
-	mu       sync.Mutex
-	agg      longitudinal.Aggregator
-	enrolled map[int]Registration
-	reported map[int]bool
+	s *Stream
 }
 
 // New returns a collection service for the protocol, decoding payloads
 // with the given decoder and striping ingestion over one shard per
 // available CPU.
+//
+// Deprecated: use NewStream.
 func New(proto longitudinal.Protocol, decoder Decoder) *Collection {
 	return NewSharded(proto, decoder, longitudinal.DefaultShards())
 }
 
-// NewSharded is New with an explicit stripe count. shards <= 1 (or an
-// aggregator without merge support) yields a fully serialized service.
+// NewSharded is New with an explicit stripe count. shards <= 1 — including
+// any negative value — or an aggregator without merge support yields a
+// fully serialized service. (NewStream, unlike this shim, rejects negative
+// counts.)
+//
+// Deprecated: use NewStream with WithShards and WithDecoder.
 func NewSharded(proto longitudinal.Protocol, decoder Decoder, shards int) *Collection {
-	agg := proto.NewAggregator()
-	c := &Collection{proto: proto, decoder: decoder}
-	ma, mergeable := agg.(longitudinal.MergeableAggregator)
-	if shards < 1 || !mergeable {
+	if shards < 1 {
 		shards = 1
 	}
-	if shards > 1 {
-		c.merge = ma
+	s, err := NewStream(proto, WithShards(shards), WithDecoder(decoder))
+	if err != nil {
+		// Unreachable for the legacy surface: the decoder is explicit and
+		// the shard count normalized, so only a nil protocol errors — the
+		// legacy constructors never guarded that either.
+		panic(err)
 	}
-	c.shards = make([]*collectionShard, shards)
-	for i := range c.shards {
-		sh := &collectionShard{
-			enrolled: make(map[int]Registration),
-			reported: make(map[int]bool),
-		}
-		if c.merge != nil {
-			sh.agg = ma.Fork()
-		} else {
-			sh.agg = agg
-		}
-		c.shards[i] = sh
-	}
-	return c
+	return &Collection{s: s}
 }
+
+// Stream returns the underlying Stream service.
+func (c *Collection) Stream() *Stream { return c.s }
 
 // Shards returns the number of ingestion stripes.
-func (c *Collection) Shards() int { return len(c.shards) }
+func (c *Collection) Shards() int { return c.s.Shards() }
 
-// shardOf maps a user onto its stripe. The user ID is mixed first so that
-// contiguous ID ranges spread evenly regardless of stripe count.
-func (c *Collection) shardOf(userID int) *collectionShard {
-	if len(c.shards) == 1 {
-		return c.shards[0]
-	}
-	return c.shards[randsrc.Mix64(uint64(userID))%uint64(len(c.shards))]
-}
-
-// Enroll registers a user's one-time metadata. Re-enrollment with
-// different metadata is rejected: a changed hash function or changed
-// sampled buckets would corrupt the user's support counts.
+// Enroll registers a user's one-time metadata.
 func (c *Collection) Enroll(userID int, reg Registration) error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	sh := c.shardOf(userID)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if prev, ok := sh.enrolled[userID]; ok {
-		// Sampled buckets compare element-wise: two users with equally
-		// many but different buckets are NOT interchangeable (their
-		// support counts land in different histogram bins).
-		if prev.HashSeed != reg.HashSeed || !slices.Equal(prev.Sampled, reg.Sampled) {
-			return fmt.Errorf("server: user %d already enrolled with different metadata", userID)
-		}
-		return nil
-	}
-	sh.enrolled[userID] = reg
-	return nil
+	return c.s.Enroll(userID, reg)
 }
 
 // Ingest decodes and tallies one user's payload for the current round.
-// Duplicate reports within a round are rejected (they would bias Eq. (3)).
 func (c *Collection) Ingest(userID int, payload []byte) error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	sh := c.shardOf(userID)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	reg, ok := sh.enrolled[userID]
-	if !ok {
-		return fmt.Errorf("server: user %d not enrolled", userID)
-	}
-	if sh.reported[userID] {
-		return fmt.Errorf("server: user %d already reported this round", userID)
-	}
-	rep, err := c.decoder.Decode(payload, reg)
-	if err != nil {
-		return fmt.Errorf("server: user %d payload: %w", userID, err)
-	}
-	sh.agg.Add(userID, rep)
-	sh.reported[userID] = true
-	return nil
+	return c.s.Ingest(userID, payload)
 }
 
 // CloseRound finalizes the current round, publishes its estimates and
-// opens the next round. The returned slice is the caller's to keep: the
-// published history holds its own copy, so later mutation by the caller
-// cannot corrupt Round's results.
+// opens the next round. The returned slice is the caller's to keep.
 func (c *Collection) CloseRound() []float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var est []float64
-	if c.merge != nil {
-		for _, sh := range c.shards {
-			c.merge.Merge(sh.agg)
-		}
-		est = c.merge.EndRound()
-	} else {
-		est = c.shards[0].agg.EndRound()
-	}
-	for _, sh := range c.shards {
-		for u := range sh.reported {
-			delete(sh.reported, u)
-		}
-	}
-	c.rounds = append(c.rounds, append([]float64(nil), est...))
-	return est
+	return c.s.CloseRound().Raw
 }
 
-// Round returns a copy of the published estimates of round t (0-based);
-// mutating it cannot corrupt the published history.
+// Round returns a copy of the published estimates of round t (0-based).
 func (c *Collection) Round(t int) ([]float64, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if t < 0 || t >= len(c.rounds) {
-		return nil, fmt.Errorf("server: round %d not published (have %d)", t, len(c.rounds))
+	res, err := c.s.Round(t)
+	if err != nil {
+		return nil, err
 	}
-	return append([]float64(nil), c.rounds[t]...), nil
+	return res.Raw, nil
 }
 
 // Rounds returns the number of published rounds.
-func (c *Collection) Rounds() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.rounds)
-}
+func (c *Collection) Rounds() int { return c.s.Rounds() }
 
 // Enrolled returns the number of enrolled users.
-func (c *Collection) Enrolled() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	total := 0
-	for _, sh := range c.shards {
-		sh.mu.Lock()
-		total += len(sh.enrolled)
-		sh.mu.Unlock()
-	}
-	return total
-}
-
-// ---------------------------------------------------------------------------
-// Decoders for every protocol family.
-
-// LolohaDecoder decodes LOLOHA round payloads for a protocol with reduced
-// domain g.
-type LolohaDecoder struct{ G int }
-
-// Decode implements Decoder.
-func (d LolohaDecoder) Decode(payload []byte, reg Registration) (longitudinal.Report, error) {
-	rep, rest, err := core.DecodeReport(payload, d.G, reg.HashSeed)
-	if err != nil {
-		return nil, err
-	}
-	if len(rest) != 0 {
-		return nil, fmt.Errorf("server: %d trailing bytes in LOLOHA payload", len(rest))
-	}
-	return rep, nil
-}
-
-// UEDecoder decodes unary-encoding round payloads of k bits.
-type UEDecoder struct{ K int }
-
-// Decode implements Decoder.
-func (d UEDecoder) Decode(payload []byte, _ Registration) (longitudinal.Report, error) {
-	rep, rest, err := longitudinal.DecodeUEReport(payload, d.K)
-	if err != nil {
-		return nil, err
-	}
-	if len(rest) != 0 {
-		return nil, fmt.Errorf("server: %d trailing bytes in UE payload", len(rest))
-	}
-	return rep, nil
-}
-
-// GRRDecoder decodes scalar GRR round payloads over [0..k).
-type GRRDecoder struct{ K int }
-
-// Decode implements Decoder.
-func (d GRRDecoder) Decode(payload []byte, _ Registration) (longitudinal.Report, error) {
-	rep, rest, err := longitudinal.DecodeGRRValueReport(payload, d.K)
-	if err != nil {
-		return nil, err
-	}
-	if len(rest) != 0 {
-		return nil, fmt.Errorf("server: %d trailing bytes in GRR payload", len(rest))
-	}
-	return rep, nil
-}
-
-// DBitDecoder decodes dBitFlipPM round payloads using the user's enrolled
-// sampled buckets.
-type DBitDecoder struct{}
-
-// Decode implements Decoder.
-func (DBitDecoder) Decode(payload []byte, reg Registration) (longitudinal.Report, error) {
-	if len(reg.Sampled) == 0 {
-		return nil, fmt.Errorf("server: user enrolled without sampled buckets")
-	}
-	rep, rest, err := longitudinal.DecodeDBitReport(payload, reg.Sampled)
-	if err != nil {
-		return nil, err
-	}
-	if len(rest) != 0 {
-		return nil, fmt.Errorf("server: %d trailing bytes in dBit payload", len(rest))
-	}
-	return rep, nil
-}
-
-// ForProtocol returns the right decoder for any protocol constructed by
-// this repository.
-func ForProtocol(p longitudinal.Protocol) (Decoder, error) {
-	switch proto := p.(type) {
-	case *core.Protocol:
-		return LolohaDecoder{G: proto.G()}, nil
-	case *longitudinal.ChainUE:
-		return UEDecoder{K: proto.K()}, nil
-	case *longitudinal.LGRR:
-		return GRRDecoder{K: proto.K()}, nil
-	case *longitudinal.DBitFlipPM:
-		return DBitDecoder{}, nil
-	default:
-		return nil, fmt.Errorf("server: no decoder for %T", p)
-	}
-}
+func (c *Collection) Enrolled() int { return c.s.Enrolled() }

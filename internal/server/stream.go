@@ -1,0 +1,623 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+
+	"github.com/loloha-ldp/loloha/internal/heavyhitter"
+	"github.com/loloha-ldp/loloha/internal/longitudinal"
+	"github.com/loloha-ldp/loloha/internal/postprocess"
+	"github.com/loloha-ldp/loloha/internal/randsrc"
+)
+
+// Stream is the collection service of the library: one configurable,
+// thread-safe, multi-round frequency-monitoring pipeline for a single
+// longitudinal protocol. It subsumes the former Cohort/Collection pair:
+//
+//   - Wire path: users Enroll once with registration metadata, then stream
+//     raw payload bytes through Ingest (one report) or IngestBatch (decode
+//     outside the shard locks, one lock acquisition per shard per batch).
+//   - Simulation path: WithCohort attaches in-process clients and Collect
+//     drives a complete round from raw values.
+//
+// Rounds are explicit: reports land in the current round until CloseRound
+// (or Collect), which publishes a RoundResult to the history and to every
+// Subscribe channel. Estimates are bit-identical across shard counts and
+// ingestion paths: all randomness lives client-side and shard tallies are
+// integer counts.
+//
+// Internally ingestion is striped: users hash onto shards, each with its
+// own lock, enrollment/report maps and aggregator fork, so concurrent
+// Ingest calls from different shards never contend. CloseRound acts as a
+// round barrier — it excludes all ingestion, merges the shard tallies and
+// publishes the estimates. With a non-mergeable aggregator the service
+// degrades to a single shard.
+type Stream struct {
+	proto   longitudinal.Protocol
+	decoder Decoder
+
+	// mu is the round barrier: CloseRound/Collect hold it exclusively;
+	// Enroll, Ingest and the published-history readers hold it shared
+	// (results and subscribers are only mutated under the exclusive lock).
+	mu     sync.RWMutex
+	merge  longitudinal.MergeableAggregator // nil when single-shard
+	shards []*streamShard
+
+	pp      postprocess.Method
+	tracker *heavyhitter.Tracker
+
+	results  []RoundResult
+	subs     []chan RoundResult
+	roundCap int
+	closed   bool
+
+	// Simulation cohort (nil unless WithCohort).
+	clients   []longitudinal.Client
+	collector *longitudinal.ShardedCollector
+}
+
+// streamShard owns the ingestion state of one stripe of users.
+type streamShard struct {
+	mu       sync.Mutex
+	agg      longitudinal.Aggregator
+	enrolled map[int]Registration
+	reported map[int]bool
+	tallied  int
+}
+
+// RoundResult is one published collection round.
+type RoundResult struct {
+	// Round is the 0-based round index.
+	Round int
+	// Reports is the number of reports tallied into the round.
+	Reports int
+	// Raw holds the unbiased Eq. (3) estimates.
+	Raw []float64
+	// Estimates holds the post-processed estimates (a copy of Raw when the
+	// stream was built without WithPostProcess).
+	Estimates []float64
+	// HeavyHitters is the tracker's current heavy-hitter set; nil unless
+	// the stream was built with WithHeavyHitters.
+	HeavyHitters []heavyhitter.Hitter
+}
+
+// clone returns a deep copy so history, subscribers and the caller never
+// share mutable slices.
+func (r RoundResult) clone() RoundResult {
+	c := r
+	c.Raw = append([]float64(nil), r.Raw...)
+	c.Estimates = append([]float64(nil), r.Estimates...)
+	c.HeavyHitters = append([]heavyhitter.Hitter(nil), r.HeavyHitters...)
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// Options.
+
+// Option configures a Stream.
+type Option func(*streamConfig)
+
+type streamConfig struct {
+	shards    int
+	shardsSet bool
+	decoder   Decoder
+	pp        postprocess.Method
+	hh        *heavyhitter.Config
+	roundCap  int
+	cohortN   int
+	cohortSet bool
+	seed      uint64
+}
+
+// WithShards sets the ingestion stripe count and, when a cohort is
+// attached, the collection parallelism. 0 (the default) selects one shard
+// per available CPU; 1 fully serializes the service; negative counts are
+// rejected at construction.
+func WithShards(shards int) Option {
+	return func(c *streamConfig) { c.shards = shards; c.shardsSet = true }
+}
+
+// WithDecoder overrides payload decoding. Without it the decoder is
+// resolved from the protocol (WireProtocol, then the registry); use it to
+// drive a stream with a custom wire format.
+func WithDecoder(dec Decoder) Option {
+	return func(c *streamConfig) { c.decoder = dec }
+}
+
+// WithPostProcess selects the server-side estimate transform applied to
+// every RoundResult's Estimates (costs no privacy by Proposition 2.2). The
+// unbiased estimates always remain available as RoundResult.Raw.
+func WithPostProcess(m postprocess.Method) Option {
+	return func(c *streamConfig) { c.pp = m }
+}
+
+// WithHeavyHitters attaches a heavy-hitter tracker fed the post-processed
+// estimates of every round; RoundResult.HeavyHitters carries its current
+// set. cfg.K defaults to the protocol's estimate domain when zero.
+func WithHeavyHitters(cfg heavyhitter.Config) Option {
+	return func(c *streamConfig) { c.hh = &cfg }
+}
+
+// WithRoundCapacity sets the buffer of each Subscribe channel: how many
+// unconsumed rounds a subscriber may lag before it starts missing rounds
+// (default 16). Must be at least 1.
+func WithRoundCapacity(n int) Option {
+	return func(c *streamConfig) { c.roundCap = n }
+}
+
+// WithCohort attaches n in-process simulation clients, seeded
+// deterministically from seed, so Collect can drive complete rounds from
+// raw values. The clients own user IDs [0..n): wire enrollment under
+// those IDs is rejected, since it would tally a user twice per round.
+// Production deployments run clients on devices and use the wire path
+// instead.
+func WithCohort(n int, seed uint64) Option {
+	return func(c *streamConfig) { c.cohortN = n; c.cohortSet = true; c.seed = seed }
+}
+
+// NewStream returns a collection service for the protocol.
+func NewStream(proto longitudinal.Protocol, opts ...Option) (*Stream, error) {
+	cfg := streamConfig{roundCap: 16}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if proto == nil {
+		return nil, fmt.Errorf("server: nil protocol")
+	}
+	if cfg.shards < 0 {
+		return nil, fmt.Errorf("server: negative shard count %d", cfg.shards)
+	}
+	if !cfg.shardsSet || cfg.shards == 0 {
+		cfg.shards = longitudinal.DefaultShards()
+	}
+	if cfg.roundCap < 1 {
+		return nil, fmt.Errorf("server: round capacity must be at least 1, got %d", cfg.roundCap)
+	}
+	if cfg.cohortSet && cfg.cohortN < 1 {
+		return nil, fmt.Errorf("server: cohort needs at least one user, got %d", cfg.cohortN)
+	}
+	if cfg.decoder == nil {
+		dec, err := ForProtocol(proto)
+		if err != nil {
+			return nil, err
+		}
+		cfg.decoder = dec
+	}
+
+	s := &Stream{
+		proto:    proto,
+		decoder:  cfg.decoder,
+		pp:       cfg.pp,
+		roundCap: cfg.roundCap,
+	}
+	agg := proto.NewAggregator()
+	shards := cfg.shards
+	ma, mergeable := agg.(longitudinal.MergeableAggregator)
+	if shards < 1 || !mergeable {
+		shards = 1
+	}
+	if shards > 1 {
+		s.merge = ma
+	}
+	s.shards = make([]*streamShard, shards)
+	for i := range s.shards {
+		sh := &streamShard{
+			enrolled: make(map[int]Registration),
+			reported: make(map[int]bool),
+		}
+		if s.merge != nil {
+			sh.agg = ma.Fork()
+		} else {
+			sh.agg = agg
+		}
+		s.shards[i] = sh
+	}
+
+	if cfg.hh != nil {
+		hhCfg := *cfg.hh
+		if hhCfg.K == 0 {
+			hhCfg.K = agg.EstimateDomain()
+		}
+		if hhCfg.K != agg.EstimateDomain() {
+			return nil, fmt.Errorf("server: heavy-hitter tracker over %d values, protocol estimates %d",
+				hhCfg.K, agg.EstimateDomain())
+		}
+		tracker, err := heavyhitter.New(hhCfg)
+		if err != nil {
+			return nil, err
+		}
+		s.tracker = tracker
+	}
+
+	if cfg.cohortSet {
+		s.clients = make([]longitudinal.Client, cfg.cohortN)
+		for u := range s.clients {
+			s.clients[u] = proto.NewClient(randsrc.Derive(cfg.seed, uint64(u)))
+		}
+		// Cohort tallies land in the round's merge target so Collect and
+		// wire ingestion share rounds.
+		target := agg
+		s.collector = longitudinal.NewShardedCollector(target, cfg.cohortN, cfg.shards)
+	}
+	return s, nil
+}
+
+// Protocol returns the protocol the stream collects for.
+func (s *Stream) Protocol() longitudinal.Protocol { return s.proto }
+
+// Shards returns the number of ingestion stripes.
+func (s *Stream) Shards() int { return len(s.shards) }
+
+// shardOf maps a user onto its stripe. The user ID is mixed first so that
+// contiguous ID ranges spread evenly regardless of stripe count.
+func (s *Stream) shardOf(userID int) *streamShard {
+	return s.shards[s.shardIndex(userID)]
+}
+
+func (s *Stream) shardIndex(userID int) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	return int(randsrc.Mix64(uint64(userID)) % uint64(len(s.shards)))
+}
+
+// ---------------------------------------------------------------------------
+// Wire ingestion.
+
+// checkWireID rejects wire operations on IDs owned by the attached
+// cohort: client u of WithCohort(n, seed) is user u, so a wire report
+// under the same ID would tally the user twice in one round — exactly the
+// duplicate bias the per-round report check exists to prevent.
+func (s *Stream) checkWireID(userID int) error {
+	if s.clients != nil && userID >= 0 && userID < len(s.clients) {
+		return fmt.Errorf("server: user %d is an attached cohort client; wire users must use IDs outside [0..%d)",
+			userID, len(s.clients))
+	}
+	return nil
+}
+
+// Enroll registers a user's one-time metadata. Re-enrollment with
+// different metadata is rejected: a changed hash function or changed
+// sampled buckets would corrupt the user's support counts. With an
+// attached cohort, wire user IDs must lie outside the cohort's [0..n).
+func (s *Stream) Enroll(userID int, reg Registration) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.checkWireID(userID); err != nil {
+		return err
+	}
+	sh := s.shardOf(userID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.enroll(userID, reg)
+}
+
+func (sh *streamShard) enroll(userID int, reg Registration) error {
+	if prev, ok := sh.enrolled[userID]; ok {
+		// Sampled buckets compare element-wise: two users with equally
+		// many but different buckets are NOT interchangeable (their
+		// support counts land in different histogram bins).
+		if prev.HashSeed != reg.HashSeed || !slices.Equal(prev.Sampled, reg.Sampled) {
+			return fmt.Errorf("server: user %d already enrolled with different metadata", userID)
+		}
+		return nil
+	}
+	sh.enrolled[userID] = reg
+	return nil
+}
+
+// Ingest decodes and tallies one user's payload for the current round.
+// Duplicate reports within a round are rejected (they would bias Eq. (3)).
+func (s *Stream) Ingest(userID int, payload []byte) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.checkWireID(userID); err != nil {
+		return err
+	}
+	sh := s.shardOf(userID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	reg, ok := sh.enrolled[userID]
+	if !ok {
+		return fmt.Errorf("server: user %d not enrolled", userID)
+	}
+	if sh.reported[userID] {
+		return fmt.Errorf("server: user %d already reported this round", userID)
+	}
+	rep, err := s.decoder.Decode(payload, reg)
+	if err != nil {
+		return fmt.Errorf("server: user %d payload: %w", userID, err)
+	}
+	sh.agg.Add(userID, rep)
+	sh.reported[userID] = true
+	sh.tallied++
+	return nil
+}
+
+// IngestBatch decodes and tallies a whole batch of payloads,
+// payloads[i] belonging to userIDs[i]. Decoding runs outside the shard
+// locks and each shard's lock is acquired once per phase rather than once
+// per report, which amortizes lock traffic on hot ingestion paths (see
+// BenchmarkIngestPath).
+//
+// The batch is not transactional: every enrolled, non-duplicate,
+// well-formed report is tallied, and the returned error joins one error
+// per rejected report (nil when all landed). Tallies are integer counts,
+// so estimates are bit-identical to ingesting the same reports one at a
+// time in any order.
+func (s *Stream) IngestBatch(userIDs []int, payloads [][]byte) error {
+	if len(userIDs) != len(payloads) {
+		return fmt.Errorf("server: batch has %d user IDs for %d payloads", len(userIDs), len(payloads))
+	}
+	if len(userIDs) == 0 {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	var errs []error
+	// Partition the batch by shard so each phase takes one lock per shard.
+	perShard := make([][]int, len(s.shards))
+	for i, u := range userIDs {
+		if err := s.checkWireID(u); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		si := s.shardIndex(u)
+		perShard[si] = append(perShard[si], i)
+	}
+	regs := make([]Registration, len(userIDs))
+	ok := make([]bool, len(userIDs))
+	for si, idxs := range perShard {
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := s.shards[si]
+		sh.mu.Lock()
+		for _, i := range idxs {
+			reg, found := sh.enrolled[userIDs[i]]
+			if !found {
+				errs = append(errs, fmt.Errorf("server: user %d not enrolled", userIDs[i]))
+				continue
+			}
+			regs[i] = reg
+			ok[i] = true
+		}
+		sh.mu.Unlock()
+	}
+
+	// Decode with no locks held: the expensive per-report work.
+	reps := make([]longitudinal.Report, len(userIDs))
+	for i := range userIDs {
+		if !ok[i] {
+			continue
+		}
+		rep, err := s.decoder.Decode(payloads[i], regs[i])
+		if err != nil {
+			ok[i] = false
+			errs = append(errs, fmt.Errorf("server: user %d payload: %w", userIDs[i], err))
+			continue
+		}
+		reps[i] = rep
+	}
+
+	// Tally: one lock acquisition per shard for the whole batch. The
+	// duplicate check runs here so a user repeated within the batch is
+	// rejected exactly like a repeat across Ingest calls.
+	for si, idxs := range perShard {
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := s.shards[si]
+		sh.mu.Lock()
+		for _, i := range idxs {
+			if !ok[i] {
+				continue
+			}
+			u := userIDs[i]
+			if sh.reported[u] {
+				errs = append(errs, fmt.Errorf("server: user %d already reported this round", u))
+				continue
+			}
+			sh.agg.Add(u, reps[i])
+			sh.reported[u] = true
+			sh.tallied++
+		}
+		sh.mu.Unlock()
+	}
+	return errors.Join(errs...)
+}
+
+// ---------------------------------------------------------------------------
+// Simulation cohort.
+
+// Collect runs one complete collection round for the attached cohort:
+// values[u] is client u's current value. Every client reports, the round
+// is closed, and its RoundResult returned — wire reports ingested since
+// the previous round share the same result. Requires WithCohort.
+func (s *Stream) Collect(values []int) (RoundResult, error) {
+	if s.clients == nil {
+		return RoundResult{}, fmt.Errorf("server: no cohort attached (use WithCohort)")
+	}
+	if len(values) != len(s.clients) {
+		return RoundResult{}, fmt.Errorf("server: got %d values for %d users", len(values), len(s.clients))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.collector.Tally(s.clients, values); err != nil {
+		return RoundResult{}, err
+	}
+	return s.closeRoundLocked(len(s.clients)), nil
+}
+
+// CohortSize returns the number of attached simulation clients (0 without
+// WithCohort).
+func (s *Stream) CohortSize() int { return len(s.clients) }
+
+// CohortShards returns the cohort's effective collection parallelism (0
+// without WithCohort). It can be lower than Shards: collection partitions
+// users contiguously and clamps to the cohort size.
+func (s *Stream) CohortShards() int {
+	if s.collector == nil {
+		return 0
+	}
+	return s.collector.Shards()
+}
+
+// PrivacySpent returns each attached client's longitudinal privacy loss ε̌
+// so far (nil without WithCohort).
+func (s *Stream) PrivacySpent() []float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.clients == nil {
+		return nil
+	}
+	out := make([]float64, len(s.clients))
+	for u, cl := range s.clients {
+		out[u] = cl.PrivacySpent()
+	}
+	return out
+}
+
+// MaxPrivacySpent returns the worst ε̌ across the attached cohort (0
+// without WithCohort).
+func (s *Stream) MaxPrivacySpent() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	worst := 0.0
+	for _, cl := range s.clients {
+		if spent := cl.PrivacySpent(); spent > worst {
+			worst = spent
+		}
+	}
+	return worst
+}
+
+// ---------------------------------------------------------------------------
+// Round lifecycle and publication.
+
+// CloseRound finalizes the current round, publishes its RoundResult (to
+// the history and every subscriber) and opens the next round. The returned
+// result is the caller's to keep: history and subscribers hold their own
+// copies, so later mutation cannot corrupt Round's results.
+func (s *Stream) CloseRound() RoundResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeRoundLocked(0)
+}
+
+// closeRoundLocked merges shard tallies, estimates, post-processes and
+// publishes. extraReports counts reports tallied outside the shard maps
+// (the cohort path). Caller holds s.mu exclusively.
+func (s *Stream) closeRoundLocked(extraReports int) RoundResult {
+	var raw []float64
+	if s.merge != nil {
+		for _, sh := range s.shards {
+			s.merge.Merge(sh.agg)
+		}
+		raw = s.merge.EndRound()
+	} else {
+		raw = s.shards[0].agg.EndRound()
+	}
+	reports := extraReports
+	for _, sh := range s.shards {
+		reports += sh.tallied
+		sh.tallied = 0
+		clear(sh.reported)
+	}
+
+	estimates := append([]float64(nil), raw...)
+	estimates = postprocess.Apply(s.pp, estimates)
+	res := RoundResult{
+		Round:     len(s.results),
+		Reports:   reports,
+		Raw:       raw,
+		Estimates: estimates,
+	}
+	if s.tracker != nil {
+		s.tracker.Observe(estimates)
+		res.HeavyHitters = s.tracker.HeavyHitters()
+	}
+	s.results = append(s.results, res.clone())
+	if !s.closed {
+		for _, sub := range s.subs {
+			// Non-blocking: a subscriber that lags more than its buffer
+			// (WithRoundCapacity) misses rounds rather than stalling the
+			// round barrier; RoundResult.Round makes gaps detectable and
+			// Round(t) backfills them. CloseRound is the only sender and
+			// holds s.mu exclusively, so a full buffer can only drain —
+			// checking occupancy first skips the clone a select would
+			// evaluate and then drop.
+			if len(sub) == cap(sub) {
+				continue
+			}
+			sub <- res.clone()
+		}
+	}
+	return res
+}
+
+// Subscribe returns a channel receiving every subsequently published
+// RoundResult. The channel is buffered (WithRoundCapacity); when the
+// buffer is full the subscriber misses rounds instead of blocking
+// CloseRound. Close closes all subscription channels.
+func (s *Stream) Subscribe() <-chan RoundResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan RoundResult, s.roundCap)
+	if s.closed {
+		close(ch)
+		return ch
+	}
+	s.subs = append(s.subs, ch)
+	return ch
+}
+
+// Close terminates publication: every subscription channel is closed and
+// later Subscribe calls return closed channels. Ingestion and the round
+// history remain usable; Close only ends the streaming side.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, sub := range s.subs {
+		close(sub)
+	}
+	s.subs = nil
+}
+
+// Round returns a copy of the published result of round t (0-based);
+// mutating it cannot corrupt the published history.
+func (s *Stream) Round(t int) (RoundResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if t < 0 || t >= len(s.results) {
+		return RoundResult{}, fmt.Errorf("server: round %d not published (have %d)", t, len(s.results))
+	}
+	return s.results[t].clone(), nil
+}
+
+// Rounds returns the number of published rounds.
+func (s *Stream) Rounds() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.results)
+}
+
+// Enrolled returns the number of enrolled users.
+func (s *Stream) Enrolled() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += len(sh.enrolled)
+		sh.mu.Unlock()
+	}
+	return total
+}

@@ -91,7 +91,8 @@ type Config struct {
 	// reports are sharded over this many goroutines with per-shard
 	// aggregator forks (see longitudinal.ShardedCollector). 0 or 1 keeps
 	// rounds serial, which is usually right when the grid itself saturates
-	// the CPUs; estimates are bit-identical either way.
+	// the CPUs; estimates are bit-identical either way. Negative counts
+	// are rejected by validate.
 	Shards int
 	// PostProcess transforms each round's estimates before scoring MSE
 	// (extension; the paper's setting is postprocess.None).
@@ -111,6 +112,12 @@ func (c Config) validate() error {
 	}
 	if c.Runs < 1 {
 		return fmt.Errorf("simulation: Runs must be >= 1, got %d", c.Runs)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("simulation: Shards must be >= 0, got %d", c.Shards)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("simulation: Workers must be >= 0, got %d", c.Workers)
 	}
 	return nil
 }

@@ -11,9 +11,10 @@
 // reports and produces unbiased frequency estimates).
 //
 //	proto, _ := loloha.NewBiLOLOHA(k, 1.0 /* ε∞ */, 0.5 /* ε1 */)
-//	cohort := loloha.NewCohort(proto, numUsers, seed)
+//	stream, _ := loloha.NewStream(proto, loloha.WithCohort(numUsers, seed))
 //	for each collection round {
-//	    est := cohort.Collect(values) // values[u] = user u's current value
+//	    res, _ := stream.Collect(values) // values[u] = user u's current value
+//	    use res.Raw                      // the round's frequency estimates
 //	}
 //
 // LOLOHA's guarantee (Theorem 3.5): however long the collection runs and
@@ -23,8 +24,6 @@
 package loloha
 
 import (
-	"fmt"
-
 	"github.com/loloha-ldp/loloha/internal/analysis"
 	"github.com/loloha-ldp/loloha/internal/core"
 	"github.com/loloha-ldp/loloha/internal/domain"
@@ -32,7 +31,6 @@ import (
 	"github.com/loloha-ldp/loloha/internal/heavyhitter"
 	"github.com/loloha-ldp/loloha/internal/longitudinal"
 	"github.com/loloha-ldp/loloha/internal/postprocess"
-	"github.com/loloha-ldp/loloha/internal/randsrc"
 	"github.com/loloha-ldp/loloha/internal/server"
 )
 
@@ -121,83 +119,146 @@ func NewDBitFlipPM(k, b, d int, epsInf float64) (Protocol, error) {
 }
 
 // ---------------------------------------------------------------------------
-// Cohort: convenience wiring of n clients plus an aggregator.
+// Stream: the collection service.
 
-// Cohort couples n protocol clients with one aggregator so applications can
-// drive a complete collection round with a single call. It is a
-// convenience for simulations and examples; production deployments run
-// Client on devices and Aggregator on the server.
+// Stream is the collection service of the library: one configurable,
+// thread-safe, multi-round frequency-monitoring pipeline built with
+// functional options. It subsumes the deprecated Cohort/Collection pair:
 //
-// Collection is sharded: users are partitioned into contiguous blocks that
-// report and tally on their own goroutines, and the per-shard tallies are
-// merged before estimation. Estimates are bit-identical to a serial
-// collection for any shard count and fixed seed, because all per-user
-// randomness lives in the user's Client and shard tallies are integer
-// counts.
+//	stream, _ := loloha.NewStream(proto,
+//	    loloha.WithShards(8),
+//	    loloha.WithPostProcess(loloha.PostSimplex),
+//	    loloha.WithHeavyHitters(loloha.HeavyHitterConfig{Threshold: 0.05}),
+//	)
+//	results := stream.Subscribe()
+//	// Wire path: stream.Enroll / stream.Ingest / stream.IngestBatch,
+//	// then stream.CloseRound() publishes a RoundResult to results.
+//
+// Attach in-process simulation clients with WithCohort and drive complete
+// rounds with stream.Collect(values). Estimates are bit-identical across
+// shard counts and ingestion paths (wire vs cohort, batch vs per-report)
+// at a fixed seed. See internal/server for the full contract.
+type Stream = server.Stream
+
+// RoundResult is one published collection round: its index, report count,
+// raw and post-processed estimates, and heavy-hitter set.
+type RoundResult = server.RoundResult
+
+// StreamOption configures a Stream.
+type StreamOption = server.Option
+
+// Decoder turns a round payload into a protocol report for an enrolled
+// user.
+type Decoder = server.Decoder
+
+// WireProtocol is a Protocol that supplies the decoder for its own wire
+// payloads. Implement it to plug an out-of-repository protocol into
+// Stream with no registration step; every protocol in this repository
+// implements it.
+type WireProtocol = longitudinal.WireProtocol
+
+// NewStream returns a collection service for the protocol. The payload
+// decoder is resolved from the protocol itself (WireProtocol, then the
+// RegisterDecoder registry) unless WithDecoder overrides it.
+func NewStream(proto Protocol, opts ...StreamOption) (*Stream, error) {
+	return server.NewStream(proto, opts...)
+}
+
+// WithShards sets the ingestion stripe count and, with WithCohort, the
+// collection parallelism. 0 (the default) selects one shard per available
+// CPU; 1 fully serializes; negative counts are rejected at construction.
+func WithShards(shards int) StreamOption { return server.WithShards(shards) }
+
+// WithDecoder overrides payload decoding for protocols with a custom wire
+// format.
+func WithDecoder(dec Decoder) StreamOption { return server.WithDecoder(dec) }
+
+// WithPostProcess selects the estimate transform applied to every
+// RoundResult's Estimates (costs no privacy by Proposition 2.2); the
+// unbiased estimates stay available as RoundResult.Raw.
+func WithPostProcess(m PostProcess) StreamOption { return server.WithPostProcess(m) }
+
+// WithHeavyHitters attaches a heavy-hitter tracker fed each round's
+// post-processed estimates; RoundResult.HeavyHitters carries its current
+// set. cfg.K defaults to the protocol's estimate domain.
+func WithHeavyHitters(cfg HeavyHitterConfig) StreamOption { return server.WithHeavyHitters(cfg) }
+
+// WithRoundCapacity sets each Subscribe channel's buffer: how many
+// unconsumed rounds a subscriber may lag before missing rounds
+// (default 16).
+func WithRoundCapacity(n int) StreamOption { return server.WithRoundCapacity(n) }
+
+// WithCohort attaches n in-process simulation clients (seeded
+// deterministically from seed) so Collect can drive complete rounds from
+// raw values.
+func WithCohort(n int, seed uint64) StreamOption { return server.WithCohort(n, seed) }
+
+// RegisterDecoder associates a decoder factory with a protocol name, for
+// external protocols that cannot implement WireProtocol themselves.
+func RegisterDecoder(name string, mk func(Protocol) (Decoder, error)) {
+	server.RegisterDecoder(name, mk)
+}
+
+// ---------------------------------------------------------------------------
+// Cohort: deprecated pre-Stream simulation surface.
+
+// Cohort couples n protocol clients with one aggregator so applications
+// can drive a complete collection round with a single call.
+//
+// Deprecated: use NewStream with WithCohort; Collect returns a
+// RoundResult whose Raw field is this type's estimate slice.
 type Cohort struct {
-	proto     Protocol
-	clients   []Client
-	collector *longitudinal.ShardedCollector
+	stream *Stream
 }
 
 // NewCohort creates n clients (seeded deterministically from seed) and a
 // fresh aggregator for proto, collecting with one shard per available CPU.
+//
+// Deprecated: use NewStream(proto, WithCohort(n, seed)).
 func NewCohort(proto Protocol, n int, seed uint64) (*Cohort, error) {
 	return NewShardedCohort(proto, n, seed, longitudinal.DefaultShards())
 }
 
-// NewShardedCohort is NewCohort with an explicit collection parallelism:
-// users are split into at most shards blocks collected concurrently.
-// shards <= 1 selects the fully serial path.
+// NewShardedCohort is NewCohort with an explicit collection parallelism.
+// shards <= 1 — including any negative value — selects the fully serial
+// path (NewStream, unlike this shim, rejects negative counts).
+//
+// Deprecated: use NewStream(proto, WithCohort(n, seed), WithShards(shards)).
 func NewShardedCohort(proto Protocol, n int, seed uint64, shards int) (*Cohort, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("loloha: cohort needs at least one user, got %d", n)
+	if shards < 1 {
+		shards = 1
 	}
-	c := &Cohort{
-		proto:     proto,
-		clients:   make([]Client, n),
-		collector: longitudinal.NewShardedCollector(proto.NewAggregator(), n, shards),
+	s, err := NewStream(proto, WithCohort(n, seed), WithShards(shards))
+	if err != nil {
+		return nil, err
 	}
-	for u := range c.clients {
-		c.clients[u] = proto.NewClient(randsrc.Derive(seed, uint64(u)))
-	}
-	return c, nil
+	return &Cohort{stream: s}, nil
 }
 
+// Stream returns the underlying Stream service.
+func (c *Cohort) Stream() *Stream { return c.stream }
+
 // N returns the cohort size.
-func (c *Cohort) N() int { return len(c.clients) }
+func (c *Cohort) N() int { return c.stream.CohortSize() }
 
 // Shards returns the cohort's effective collection parallelism.
-func (c *Cohort) Shards() int { return c.collector.Shards() }
+func (c *Cohort) Shards() int { return c.stream.CohortShards() }
 
 // Collect runs one collection round: values[u] is user u's current value.
 // It returns the round's frequency estimates.
 func (c *Cohort) Collect(values []int) ([]float64, error) {
-	if len(values) != len(c.clients) {
-		return nil, fmt.Errorf("loloha: got %d values for %d users", len(values), len(c.clients))
+	res, err := c.stream.Collect(values)
+	if err != nil {
+		return nil, err
 	}
-	return c.collector.Collect(c.clients, values)
+	return res.Raw, nil
 }
 
 // PrivacySpent returns each user's longitudinal privacy loss ε̌ so far.
-func (c *Cohort) PrivacySpent() []float64 {
-	out := make([]float64, len(c.clients))
-	for u, cl := range c.clients {
-		out[u] = cl.PrivacySpent()
-	}
-	return out
-}
+func (c *Cohort) PrivacySpent() []float64 { return c.stream.PrivacySpent() }
 
 // MaxPrivacySpent returns the worst ε̌ across the cohort.
-func (c *Cohort) MaxPrivacySpent() float64 {
-	worst := 0.0
-	for _, cl := range c.clients {
-		if s := cl.PrivacySpent(); s > worst {
-			worst = s
-		}
-	}
-	return worst
-}
+func (c *Cohort) MaxPrivacySpent() float64 { return c.stream.MaxPrivacySpent() }
 
 // ---------------------------------------------------------------------------
 // One-shot oracles (§2.3) for non-longitudinal collections.
@@ -227,12 +288,12 @@ func NewSUE(k int, eps float64) (*UE, error) { return freqoracle.NewSUE(k, eps) 
 func NewOUE(k int, eps float64) (*UE, error) { return freqoracle.NewOUE(k, eps) }
 
 // ---------------------------------------------------------------------------
-// Wire-level collection service.
+// Collection: deprecated pre-Stream wire surface.
 
-// Collection is a thread-safe multi-round collection service that ingests
-// raw report bytes: users Enroll once with registration metadata, Ingest a
-// payload per round, and CloseRound publishes estimates. See
-// internal/server for the contract.
+// Collection is the deprecated pre-Stream wire-level collection service:
+// the same engine as Stream with []float64 results instead of RoundResult.
+//
+// Deprecated: use Stream.
 type Collection = server.Collection
 
 // Registration is a user's one-time enrollment metadata (LOLOHA hash seed
@@ -242,12 +303,17 @@ type Registration = server.Registration
 // NewCollection returns a collection service for the protocol, selecting
 // the matching payload decoder automatically. Ingestion is striped over
 // one shard per available CPU.
+//
+// Deprecated: use NewStream(proto).
 func NewCollection(proto Protocol) (*Collection, error) {
 	return NewShardedCollection(proto, longitudinal.DefaultShards())
 }
 
 // NewShardedCollection is NewCollection with an explicit ingestion stripe
-// count (shards <= 1 fully serializes the service).
+// count. shards <= 1 — including any negative value — fully serializes
+// the service (NewStream, unlike this shim, rejects negative counts).
+//
+// Deprecated: use NewStream(proto, WithShards(shards)).
 func NewShardedCollection(proto Protocol, shards int) (*Collection, error) {
 	dec, err := server.ForProtocol(proto)
 	if err != nil {

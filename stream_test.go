@@ -1,0 +1,501 @@
+// Tests for the Stream collection service: parity across every ingestion
+// path and shard count, the options surface, round subscriptions, batch
+// ingest, and the open (WireProtocol / registry) decoder resolution that
+// replaced the closed ForProtocol type-switch.
+package loloha_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	loloha "github.com/loloha-ldp/loloha"
+)
+
+// registrationFor extracts a client's enrollment metadata the way a
+// deployment would: LOLOHA clients expose their hash seed, dBitFlipPM
+// clients their sampled buckets, UE/GRR chains need nothing.
+func registrationFor(t *testing.T, cl loloha.Client) loloha.Registration {
+	t.Helper()
+	switch c := cl.(type) {
+	case interface{ HashSeed() uint64 }:
+		return loloha.Registration{HashSeed: c.HashSeed()}
+	case interface{ Sampled() []int }:
+		return loloha.Registration{Sampled: c.Sampled()}
+	default:
+		return loloha.Registration{}
+	}
+}
+
+// TestStreamParityAllPathsAllFamilies is the acceptance gate of the API
+// redesign: for every protocol family, estimates from the new Stream —
+// any shard count, batch or per-report ingest — are bit-identical to the
+// legacy Collection path and to direct in-memory aggregation at the same
+// seed.
+func TestStreamParityAllPathsAllFamilies(t *testing.T) {
+	const k, n, rounds = 24, 600, 3
+	protos := map[string]func() (loloha.Protocol, error){
+		"LOLOHA":     func() (loloha.Protocol, error) { return loloha.NewBiLOLOHA(k, 2, 1) },
+		"chained-UE": func() (loloha.Protocol, error) { return loloha.NewRAPPOR(k, 2, 1) },
+		"L-GRR":      func() (loloha.Protocol, error) { return loloha.NewLGRR(k, 2, 1) },
+		"dBitFlipPM": func() (loloha.Protocol, error) { return loloha.NewDBitFlipPM(k, 8, 3, 2) },
+	}
+	for name, mk := range protos {
+		t.Run(name, func(t *testing.T) {
+			proto, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			legacy, err := loloha.NewShardedCollection(proto, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			streams := map[string]*loloha.Stream{}
+			for _, shards := range []int{1, 8} {
+				for _, batch := range []bool{false, true} {
+					s, err := loloha.NewStream(proto, loloha.WithShards(shards))
+					if err != nil {
+						t.Fatal(err)
+					}
+					streams[fmt.Sprintf("shards=%d/batch=%v", shards, batch)] = s
+				}
+			}
+			direct := proto.NewAggregator()
+
+			clients := make([]loloha.Client, n)
+			for u := range clients {
+				clients[u] = proto.NewClient(uint64(u)*2654435761 + 7)
+				reg := registrationFor(t, clients[u])
+				if err := legacy.Enroll(u, reg); err != nil {
+					t.Fatal(err)
+				}
+				for _, s := range streams {
+					if err := s.Enroll(u, reg); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			for round := 0; round < rounds; round++ {
+				userIDs := make([]int, n)
+				payloads := make([][]byte, n)
+				for u, cl := range clients {
+					rep := cl.Report((u + round*5) % k)
+					direct.Add(u, rep)
+					userIDs[u] = u
+					payloads[u] = rep.AppendBinary(nil)
+					if err := legacy.Ingest(u, payloads[u]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				want := direct.EndRound()
+				if got := legacy.CloseRound(); !equalFloats(got, want) {
+					t.Fatalf("round %d: legacy Collection diverged from direct aggregation", round)
+				}
+				for label, s := range streams {
+					if label == "shards=1/batch=true" || label == "shards=8/batch=true" {
+						if err := s.IngestBatch(userIDs, payloads); err != nil {
+							t.Fatalf("%s: %v", label, err)
+						}
+					} else {
+						for u := range userIDs {
+							if err := s.Ingest(u, payloads[u]); err != nil {
+								t.Fatalf("%s: %v", label, err)
+							}
+						}
+					}
+					res := s.CloseRound()
+					if res.Round != round || res.Reports != n {
+						t.Fatalf("%s round %d: got round=%d reports=%d", label, round, res.Round, res.Reports)
+					}
+					if !equalFloats(res.Raw, want) {
+						t.Fatalf("%s round %d: estimates diverged from direct aggregation", label, round)
+					}
+					if !equalFloats(res.Estimates, want) {
+						t.Fatalf("%s round %d: post-processed estimates differ without WithPostProcess", label, round)
+					}
+				}
+			}
+		})
+	}
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStreamCohortMatchesLegacyCohort: the deprecated Cohort shim and a
+// Stream built with WithCohort are the same engine; both must match for
+// every shard count.
+func TestStreamCohortMatchesLegacyCohort(t *testing.T) {
+	const k, n, seed = 20, 500, 9
+	proto, err := loloha.NewOLOLOHA(k, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := loloha.NewShardedCohort(proto, n, seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := loloha.NewStream(proto, loloha.WithCohort(n, seed), loloha.WithShards(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.CohortSize() != n {
+		t.Fatalf("cohort size %d", stream.CohortSize())
+	}
+	values := make([]int, n)
+	for round := 0; round < 3; round++ {
+		for u := range values {
+			values[u] = (u*3 + round*11) % k
+		}
+		want, err := legacy.Collect(values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := stream.Collect(values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalFloats(res.Raw, want) {
+			t.Fatalf("round %d: Stream cohort diverged from legacy Cohort", round)
+		}
+		if res.Reports != n {
+			t.Fatalf("round %d: reports=%d, want %d", round, res.Reports, n)
+		}
+	}
+	if legacy.MaxPrivacySpent() != stream.MaxPrivacySpent() {
+		t.Fatalf("privacy ledgers diverged: %v vs %v", legacy.MaxPrivacySpent(), stream.MaxPrivacySpent())
+	}
+}
+
+// TestStreamMixesWireAndCohortReports: a wire report ingested before
+// Collect lands in the same round as the cohort's reports, and the
+// cohort's ID range [0..n) is fenced off from wire enrollment (a shared
+// ID would tally one user twice per round).
+func TestStreamMixesWireAndCohortReports(t *testing.T) {
+	const k, n = 8, 40
+	proto, err := loloha.NewBiLOLOHA(k, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := loloha.NewStream(proto, loloha.WithCohort(n, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := proto.NewClient(999)
+	if err := stream.Enroll(10_000, registrationFor(t, wire)); err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Ingest(10_000, wire.Report(2).AppendBinary(nil)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := stream.Collect(make([]int, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reports != n+1 {
+		t.Fatalf("reports=%d, want %d cohort + 1 wire", res.Reports, n+1)
+	}
+	// Cohort-owned IDs are rejected on every wire entry point.
+	if err := stream.Enroll(n-1, registrationFor(t, wire)); err == nil {
+		t.Fatal("wire enrollment under a cohort client ID accepted")
+	}
+	if err := stream.Ingest(n-1, wire.Report(1).AppendBinary(nil)); err == nil {
+		t.Fatal("wire report under a cohort client ID accepted")
+	}
+	if err := stream.IngestBatch([]int{0}, [][]byte{wire.Report(1).AppendBinary(nil)}); err == nil {
+		t.Fatal("batched wire report under a cohort client ID accepted")
+	}
+}
+
+// TestStreamSubscribe: every published round reaches each subscriber in
+// order, Close terminates the channels, and a slow subscriber misses
+// rounds instead of blocking CloseRound.
+func TestStreamSubscribe(t *testing.T) {
+	proto, err := loloha.NewBiLOLOHA(6, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := loloha.NewStream(proto, loloha.WithRoundCapacity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := stream.Subscribe()
+	for i := 0; i < 3; i++ {
+		stream.CloseRound()
+	}
+	for i := 0; i < 3; i++ {
+		res, ok := <-sub
+		if !ok || res.Round != i {
+			t.Fatalf("subscription round %d: ok=%v res=%+v", i, ok, res)
+		}
+	}
+	// Overflow the buffer: rounds 3..8 publish into capacity 4, so the
+	// subscriber sees exactly rounds 3,4,5,6 and misses 7,8.
+	for i := 0; i < 6; i++ {
+		stream.CloseRound()
+	}
+	stream.Close()
+	var got []int
+	for res := range sub {
+		got = append(got, res.Round)
+	}
+	if len(got) != 4 || got[0] != 3 || got[3] != 6 {
+		t.Fatalf("lagging subscriber got rounds %v, want [3 4 5 6]", got)
+	}
+	if res, ok := <-stream.Subscribe(); ok {
+		t.Fatalf("subscription after Close delivered %+v", res)
+	}
+	// History still backfills the missed rounds.
+	if res, err := stream.Round(8); err != nil || res.Round != 8 {
+		t.Fatalf("Round(8) after Close: %+v, %v", res, err)
+	}
+}
+
+// TestStreamPostProcessAndHeavyHitters: RoundResult carries raw and
+// post-processed estimates plus the tracker's heavy-hitter set.
+func TestStreamPostProcessAndHeavyHitters(t *testing.T) {
+	const k, n = 12, 4000
+	proto, err := loloha.NewBiLOLOHA(k, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := loloha.NewStream(proto,
+		loloha.WithCohort(n, 5),
+		loloha.WithPostProcess(loloha.PostSimplex),
+		loloha.WithHeavyHitters(loloha.HeavyHitterConfig{Threshold: 0.2, Alpha: 1}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]int, n)
+	for u := range values {
+		values[u] = u % 3 // 1/3 mass each on 0,1,2
+	}
+	res, err := stream.Collect(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, e := range res.Estimates {
+		if e < 0 {
+			t.Fatalf("simplex-projected estimate %v < 0", e)
+		}
+		sum += e
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("simplex-projected estimates sum to %v", sum)
+	}
+	if equalFloats(res.Raw, res.Estimates) {
+		t.Fatal("post-processing left estimates identical to raw (LDP noise makes that implausible)")
+	}
+	if len(res.HeavyHitters) != 3 {
+		t.Fatalf("heavy hitters %+v, want the three 1/3-mass values", res.HeavyHitters)
+	}
+	for _, h := range res.HeavyHitters {
+		if h.Value > 2 {
+			t.Fatalf("false heavy hitter %+v", h)
+		}
+	}
+}
+
+// TestStreamBatchErrors: a batch with unknown, duplicate and malformed
+// entries tallies the good reports and reports every failure.
+func TestStreamBatchErrors(t *testing.T) {
+	const k = 10
+	proto, err := loloha.NewBiLOLOHA(k, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := loloha.NewStream(proto, loloha.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := proto.NewClient(1)
+	if err := stream.Enroll(0, registrationFor(t, good)); err != nil {
+		t.Fatal(err)
+	}
+	payload := good.Report(3).AppendBinary(nil)
+	err = stream.IngestBatch(
+		[]int{0, 99, 0, 0},
+		[][]byte{payload, payload, {}, payload},
+	)
+	if err == nil {
+		t.Fatal("batch with unenrolled, malformed and duplicate entries returned nil error")
+	}
+	res := stream.CloseRound()
+	if res.Reports != 1 {
+		t.Fatalf("reports=%d, want exactly the one good report", res.Reports)
+	}
+	if err := stream.IngestBatch([]int{0}, nil); err == nil {
+		t.Fatal("mismatched batch lengths accepted")
+	}
+}
+
+// TestStreamOptionValidation: the constructor rejects bad options.
+func TestStreamOptionValidation(t *testing.T) {
+	proto, err := loloha.NewBiLOLOHA(8, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opts := range map[string][]loloha.StreamOption{
+		"negative shards":    {loloha.WithShards(-1)},
+		"zero cohort":        {loloha.WithCohort(0, 1)},
+		"zero round cap":     {loloha.WithRoundCapacity(0)},
+		"bad heavy hitters":  {loloha.WithHeavyHitters(loloha.HeavyHitterConfig{Threshold: 2})},
+		"mismatched tracker": {loloha.WithHeavyHitters(loloha.HeavyHitterConfig{K: 99, Threshold: 0.1})},
+	} {
+		if _, err := loloha.NewStream(proto, opts...); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := loloha.NewStream(nil); err == nil {
+		t.Error("nil protocol accepted")
+	}
+	if _, err := stream_CollectWithoutCohort(proto); err == nil {
+		t.Error("Collect without WithCohort accepted")
+	}
+}
+
+func stream_CollectWithoutCohort(proto loloha.Protocol) (loloha.RoundResult, error) {
+	s, err := loloha.NewStream(proto)
+	if err != nil {
+		return loloha.RoundResult{}, err
+	}
+	return s.Collect([]int{1})
+}
+
+// TestStreamConcurrentEnrollIngestSubscribe hammers the service the way
+// the redesign intends it to be used: goroutines enrolling and batch- and
+// per-report-ingesting concurrently while a subscriber streams results
+// across rounds. Run with -race.
+func TestStreamConcurrentEnrollIngestSubscribe(t *testing.T) {
+	const k, n, rounds, workers = 16, 240, 4, 6
+	proto, err := loloha.NewBiLOLOHA(k, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := loloha.NewStream(proto, loloha.WithShards(4), loloha.WithRoundCapacity(rounds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]loloha.Client, n)
+	regs := make([]loloha.Registration, n)
+	for u := range clients {
+		clients[u] = proto.NewClient(uint64(u) + 1)
+		regs[u] = registrationFor(t, clients[u])
+	}
+
+	sub := stream.Subscribe()
+	var subWG sync.WaitGroup
+	subWG.Add(1)
+	var received []loloha.RoundResult
+	go func() {
+		defer subWG.Done()
+		for res := range sub {
+			received = append(received, res)
+		}
+	}()
+
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lo, hi := w*n/workers, (w+1)*n/workers
+				var ids []int
+				var payloads [][]byte
+				for u := lo; u < hi; u++ {
+					if err := stream.Enroll(u, regs[u]); err != nil {
+						t.Error(err)
+						return
+					}
+					payload := clients[u].Report(u % k).AppendBinary(nil)
+					if u%2 == 0 {
+						if err := stream.Ingest(u, payload); err != nil {
+							t.Error(err)
+							return
+						}
+					} else {
+						ids = append(ids, u)
+						payloads = append(payloads, payload)
+					}
+				}
+				if err := stream.IngestBatch(ids, payloads); err != nil {
+					t.Error(err)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if res := stream.CloseRound(); res.Reports != n {
+			t.Fatalf("round %d: reports=%d, want %d", round, res.Reports, n)
+		}
+	}
+	stream.Close()
+	subWG.Wait()
+	if len(received) != rounds {
+		t.Fatalf("subscriber received %d rounds, want %d", len(received), rounds)
+	}
+	for i, res := range received {
+		if res.Round != i {
+			t.Fatalf("subscription out of order: got round %d at position %d", res.Round, i)
+		}
+	}
+	if stream.Enrolled() != n {
+		t.Fatalf("enrolled %d, want %d", stream.Enrolled(), n)
+	}
+}
+
+// FuzzStreamIngestBatch: arbitrary batch payloads — truncated, trailing,
+// garbage — must either tally or error, never panic, and never corrupt
+// the round accounting.
+func FuzzStreamIngestBatch(f *testing.F) {
+	f.Add([]byte{}, []byte{0x01})
+	f.Add([]byte{0x00}, []byte{0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0x01, 0x00, 0x00, 0x00}, []byte{0x01, 0x02, 0x03, 0x04, 0x05})
+	proto, err := loloha.NewRAPPOR(24, 2, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		stream, err := loloha.NewStream(proto, loloha.WithShards(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < 2; u++ {
+			if err := stream.Enroll(u, loloha.Registration{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		batchErr := stream.IngestBatch([]int{0, 1}, [][]byte{a, b})
+		res := stream.CloseRound()
+		if len(res.Raw) != 24 {
+			t.Fatalf("round published %d estimates, want 24", len(res.Raw))
+		}
+		// A 24-bit UE payload is exactly 3 bytes; anything else must have
+		// been rejected and the accounting must agree with the error.
+		want := 0
+		if len(a) == 3 {
+			want++
+		}
+		if len(b) == 3 {
+			want++
+		}
+		if res.Reports != want {
+			t.Fatalf("tallied %d reports from payload lengths %d,%d (want %d; err=%v)",
+				res.Reports, len(a), len(b), want, batchErr)
+		}
+		if want < 2 && batchErr == nil {
+			t.Fatal("malformed payload tallied without error")
+		}
+	})
+}
