@@ -96,6 +96,33 @@ func (b *Bitset) Clone() *Bitset {
 	return &Bitset{n: b.n, words: w}
 }
 
+// Grow extends the bitset to at least n bits; existing bits keep their
+// values and new bits are zero. Growth within the current word capacity
+// does not allocate, which makes a Bitset usable as a per-round scratch
+// set that expands with enrollment but resets without reallocation.
+func (b *Bitset) Grow(n int) {
+	if n <= b.n {
+		return
+	}
+	need := (n + 63) / 64
+	if need > len(b.words) {
+		if need <= cap(b.words) {
+			// The reslice may expose garbage from a FromWords caller's
+			// larger backing array; new words must read as zero.
+			grown := b.words[len(b.words):need]
+			for i := range grown {
+				grown[i] = 0
+			}
+			b.words = b.words[:need]
+		} else {
+			words := make([]uint64, need, 2*need)
+			copy(words, b.words)
+			b.words = words
+		}
+	}
+	b.n = n
+}
+
 // Reset clears every bit.
 func (b *Bitset) Reset() {
 	for i := range b.words {

@@ -137,6 +137,51 @@ func TestOutOfRangePanics(t *testing.T) {
 	}
 }
 
+func TestGrow(t *testing.T) {
+	b := New(3)
+	b.Set(1, true)
+	b.Grow(2) // shrink request is a no-op
+	if b.Len() != 3 {
+		t.Fatalf("Grow(2) changed length to %d", b.Len())
+	}
+	b.Grow(130)
+	if b.Len() != 130 {
+		t.Fatalf("Grow(130): length %d", b.Len())
+	}
+	if !b.Get(1) || b.Get(0) || b.Get(129) {
+		t.Fatal("Grow corrupted existing bits or exposed nonzero new bits")
+	}
+	if b.Count() != 1 {
+		t.Fatalf("Count after Grow = %d, want 1", b.Count())
+	}
+	// Growth within word capacity must not reallocate (the per-round
+	// reported-set contract: expand with enrollment, reset without
+	// allocating).
+	b.Set(129, true)
+	before := &b.Words()[0]
+	b.Grow(192) // still 3 words
+	if &b.Words()[0] != before {
+		t.Fatal("Grow within capacity reallocated the backing words")
+	}
+	if !b.Get(129) || b.Count() != 2 {
+		t.Fatal("Grow within capacity corrupted bits")
+	}
+	// Words exposed by growing into spare capacity must read as zero even
+	// if the backing array carried garbage there.
+	words := make([]uint64, 1, 4)
+	words[0] = 1
+	spare := words[:4]
+	spare[3] = ^uint64(0) // garbage beyond the handed-over length
+	fw, err := FromWords(64, words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.Grow(256)
+	if fw.Count() != 1 {
+		t.Fatalf("Grow exposed garbage words: count %d, want 1", fw.Count())
+	}
+}
+
 func TestQuickSetGetConsistency(t *testing.T) {
 	f := func(nRaw uint8, positions []uint16) bool {
 		n := int(nRaw) + 1

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/loloha-ldp/loloha/internal/freqoracle"
+	"github.com/loloha-ldp/loloha/internal/longitudinal"
+)
+
+// WireTallier implements longitudinal.TallyProtocol: LOLOHA payloads tally
+// directly into the aggregator's support counts, with no Report
+// materialized and zero steady-state allocations (the per-user hash table
+// is built once, on the user's first report).
+func (p *Protocol) WireTallier() longitudinal.WireTallier { return wireTallier{proto: p} }
+
+type wireTallier struct{ proto *Protocol }
+
+// TallyWire implements longitudinal.WireTallier: parse the sanitized hash
+// cell and run the Algorithm 2 support loop against the user's registered
+// hash.
+func (t wireTallier) TallyWire(agg longitudinal.Aggregator, userID int, payload []byte, reg longitudinal.Registration) error {
+	a, ok := agg.(*Aggregator)
+	if !ok || a.proto != t.proto {
+		return fmt.Errorf("core: LOLOHA tallier cannot tally into %T", agg)
+	}
+	x, err := freqoracle.ParseGRRPayload(payload, t.proto.g)
+	if err != nil {
+		return err
+	}
+	a.AddReport(userID, Report{HashSeed: reg.HashSeed, X: x, g: t.proto.g})
+	return nil
+}

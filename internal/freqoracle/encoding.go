@@ -81,6 +81,77 @@ func AppendUEReport(dst []byte, rep *bitset.Bitset) []byte {
 	return dst[:start+nBytes]
 }
 
+// ---------------------------------------------------------------------------
+// Allocation-free payload readers. The Decode* functions above materialize
+// report values (a Bitset for UE); the readers below validate and consume a
+// complete steady-state payload in place, so the server's tally-direct
+// ingestion path (longitudinal.WireTallier) performs zero allocations per
+// report. Each reader is strict: the payload must be exactly one report,
+// with no trailing bytes.
+
+// GRRPayloadBytes returns the exact byte length of a GRR payload over a
+// domain of size k.
+func GRRPayloadBytes(k int) int { return valueBytes(k) }
+
+// ParseGRRPayload reads a complete GRR payload over domain size k without
+// allocating: the payload must be exactly GRRPayloadBytes(k) bytes and
+// carry a value in [0..k).
+func ParseGRRPayload(src []byte, k int) (int, error) {
+	if n := valueBytes(k); len(src) != n {
+		return 0, fmt.Errorf("freqoracle: GRR payload is %d bytes, want %d", len(src), n)
+	}
+	v, _, err := DecodeGRRReport(src, k)
+	return v, err
+}
+
+// UEPayloadBytes returns the exact byte length of a k-bit UE payload.
+func UEPayloadBytes(k int) int { return (k + 7) / 8 }
+
+// CheckUEPayload validates a complete k-bit UE payload in place: exactly
+// UEPayloadBytes(k) bytes, with every bit beyond k zero. It allocates only
+// on the error path.
+func CheckUEPayload(src []byte, k int) error {
+	nBytes := UEPayloadBytes(k)
+	if len(src) < nBytes {
+		return fmt.Errorf("freqoracle: short UE report: %d bytes, want %d", len(src), nBytes)
+	}
+	if len(src) > nBytes {
+		return fmt.Errorf("freqoracle: %d trailing bytes in UE payload", len(src)-nBytes)
+	}
+	if k%8 != 0 && src[nBytes-1]>>(uint(k)%8) != 0 {
+		return fmt.Errorf("freqoracle: nonzero bits beyond length %d", k)
+	}
+	return nil
+}
+
+// AccumulateUEPayload adds each bit of a validated k-bit UE payload (as
+// 0/1) into counts, which must have length at least k, without decoding
+// into a Bitset. Callers validate with CheckUEPayload first; bits beyond k
+// must be zero.
+func AccumulateUEPayload(src []byte, k int, counts []int64) {
+	nBytes := UEPayloadBytes(k)
+	j := 0
+	for ; j+8 <= nBytes; j += 8 {
+		w := binary.LittleEndian.Uint64(src[j:])
+		base := j * 8
+		for w != 0 {
+			i := bits.TrailingZeros64(w)
+			counts[base+i]++
+			w &= w - 1
+		}
+	}
+	var w uint64
+	for t := j; t < nBytes; t++ {
+		w |= uint64(src[t]) << (8 * uint(t-j))
+	}
+	base := j * 8
+	for w != 0 {
+		i := bits.TrailingZeros64(w)
+		counts[base+i]++
+		w &= w - 1
+	}
+}
+
 // DecodeUEReport reads a k-bit unary-encoding report from src.
 func DecodeUEReport(src []byte, k int) (*bitset.Bitset, []byte, error) {
 	nBytes := (k + 7) / 8

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"github.com/loloha-ldp/loloha/internal/bitset"
 	"github.com/loloha-ldp/loloha/internal/randsrc"
 )
 
@@ -119,5 +120,66 @@ func TestReportStreamConcatenation(t *testing.T) {
 	}
 	if len(buf) != 0 {
 		t.Errorf("leftover bytes after stream decode: %d", len(buf))
+	}
+}
+
+func TestParseGRRPayloadStrict(t *testing.T) {
+	const k = 300 // 2 payload bytes
+	if n := GRRPayloadBytes(k); n != 2 {
+		t.Fatalf("GRRPayloadBytes(%d) = %d, want 2", k, n)
+	}
+	for v := 0; v < k; v += 37 {
+		payload := AppendGRRReport(nil, v, k)
+		got, err := ParseGRRPayload(payload, k)
+		if err != nil || got != v {
+			t.Fatalf("round-trip %d: got %d, err %v", v, got, err)
+		}
+	}
+	if _, err := ParseGRRPayload([]byte{1}, k); err == nil {
+		t.Error("short payload accepted")
+	}
+	if _, err := ParseGRRPayload([]byte{1, 0, 0}, k); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	if _, err := ParseGRRPayload(AppendGRRReport(nil, k, k+1)[:2], k); err == nil {
+		t.Error("out-of-range value accepted")
+	}
+}
+
+func TestCheckAndAccumulateUEPayload(t *testing.T) {
+	for _, k := range []int{5, 8, 24, 64, 67, 130} {
+		bs := bitset.New(k)
+		for i := 0; i < k; i += 3 {
+			bs.Set(i, true)
+		}
+		payload := AppendUEReport(nil, bs)
+		if err := CheckUEPayload(payload, k); err != nil {
+			t.Fatalf("k=%d: valid payload rejected: %v", k, err)
+		}
+		counts := make([]int64, k)
+		AccumulateUEPayload(payload, k, counts)
+		AccumulateUEPayload(payload, k, counts) // accumulation adds, not assigns
+		for i := range counts {
+			want := int64(0)
+			if i%3 == 0 {
+				want = 2
+			}
+			if counts[i] != want {
+				t.Fatalf("k=%d counts[%d] = %d, want %d", k, i, counts[i], want)
+			}
+		}
+		if err := CheckUEPayload(payload[:len(payload)-1], k); err == nil {
+			t.Errorf("k=%d: short payload accepted", k)
+		}
+		if err := CheckUEPayload(append(append([]byte{}, payload...), 0), k); err == nil {
+			t.Errorf("k=%d: trailing byte accepted", k)
+		}
+		if k%8 != 0 {
+			bad := append([]byte{}, payload...)
+			bad[len(bad)-1] |= 1 << (uint(k) % 8) // set a bit beyond k
+			if err := CheckUEPayload(bad, k); err == nil {
+				t.Errorf("k=%d: nonzero bit beyond length accepted", k)
+			}
+		}
 	}
 }

@@ -1,0 +1,130 @@
+package longitudinal
+
+import (
+	"fmt"
+
+	"github.com/loloha-ldp/loloha/internal/freqoracle"
+)
+
+// Tally-direct ingestion. The Decoder contract materializes a Report value
+// per payload — which costs one interface-boxing allocation per report on
+// the server's hot path. A WireTallier instead decodes the payload bits in
+// place (views over the payload bytes, no intermediate report structs) and
+// bumps the aggregator's support counts directly, so steady-state wire
+// ingestion performs zero allocations per report. Estimates are
+// bit-identical to the Decoder path: both bump the same integer tallies.
+//
+// Decoder remains the compatibility path: protocols that only implement it
+// keep working, and a custom server.WithDecoder always wins over the
+// protocol's tallier.
+
+// WireTallier tallies one steady-state round payload directly into an
+// aggregator, without materializing a Report.
+type WireTallier interface {
+	// TallyWire decodes payload in place and adds the report it carries to
+	// agg's current-round tallies for the identified user. agg must come
+	// from the same protocol that supplied the tallier (NewAggregator or a
+	// Fork of it); reg is the user's enrollment metadata. A non-nil error
+	// means nothing was tallied, exactly as a Decoder rejection would.
+	TallyWire(agg Aggregator, userID int, payload []byte, reg Registration) error
+}
+
+// TallyProtocol is a Protocol whose steady-state payloads can be tallied
+// in place. Every protocol in this repository implements it; external
+// protocols may implement only WireProtocol (or register a Decoder) and
+// still plug into the collection service via the decode path.
+type TallyProtocol interface {
+	Protocol
+	// WireTallier returns the tallier for this protocol's steady-state
+	// payloads.
+	WireTallier() WireTallier
+}
+
+// ---------------------------------------------------------------------------
+// Chained-UE tallier.
+
+// WireTallier implements TallyProtocol.
+func (c *ChainUE) WireTallier() WireTallier { return ueWireTallier{k: c.k} }
+
+type ueWireTallier struct{ k int }
+
+// TallyWire implements WireTallier: each set payload bit bumps one support
+// count straight from the payload bytes.
+func (t ueWireTallier) TallyWire(agg Aggregator, _ int, payload []byte, _ Registration) error {
+	a, ok := agg.(*chainUEAggregator)
+	if !ok || a.proto.k != t.k {
+		return fmt.Errorf("longitudinal: chained-UE tallier cannot tally into %T", agg)
+	}
+	if err := freqoracle.CheckUEPayload(payload, t.k); err != nil {
+		return err
+	}
+	freqoracle.AccumulateUEPayload(payload, t.k, a.counts)
+	a.n++
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// L-GRR tallier.
+
+// WireTallier implements TallyProtocol.
+func (m *LGRR) WireTallier() WireTallier { return grrWireTallier{k: m.k} }
+
+type grrWireTallier struct{ k int }
+
+// TallyWire implements WireTallier: parse the scalar value and bump its
+// count.
+func (t grrWireTallier) TallyWire(agg Aggregator, _ int, payload []byte, _ Registration) error {
+	a, ok := agg.(*lgrrAggregator)
+	if !ok || a.proto.k != t.k {
+		return fmt.Errorf("longitudinal: L-GRR tallier cannot tally into %T", agg)
+	}
+	x, err := freqoracle.ParseGRRPayload(payload, t.k)
+	if err != nil {
+		return err
+	}
+	a.counts[x]++
+	a.n++
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// dBitFlipPM tallier.
+
+// WireTallier implements TallyProtocol.
+func (m *DBitFlipPM) WireTallier() WireTallier { return dbitWireTallier{proto: m} }
+
+type dbitWireTallier struct{ proto *DBitFlipPM }
+
+// TallyWire implements WireTallier: each set payload bit bumps the count
+// of the user's enrolled sampled bucket at that slot, straight from the
+// payload bytes.
+func (t dbitWireTallier) TallyWire(agg Aggregator, _ int, payload []byte, reg Registration) error {
+	a, ok := agg.(*dBitAggregator)
+	if !ok || a.proto != t.proto {
+		return fmt.Errorf("longitudinal: dBitFlipPM tallier cannot tally into %T", agg)
+	}
+	d := len(reg.Sampled)
+	if d == 0 {
+		return fmt.Errorf("longitudinal: user enrolled without sampled buckets")
+	}
+	nBytes := (d + 7) / 8
+	if len(payload) < nBytes {
+		return fmt.Errorf("longitudinal: short dBit report: %d bytes, want %d", len(payload), nBytes)
+	}
+	if len(payload) > nBytes {
+		return fmt.Errorf("longitudinal: %d trailing bytes in dBit payload", len(payload)-nBytes)
+	}
+	if d != a.proto.d {
+		// Mirror the aggregator's Add contract: a registration whose
+		// sampled-set size disagrees with the protocol is a programming
+		// error, not a malformed payload.
+		panic(fmt.Sprintf("longitudinal: dBitFlipPM report carries %d bits, want %d", d, a.proto.d))
+	}
+	for l, j := range reg.Sampled {
+		if payload[l/8]>>(uint(l)%8)&1 == 1 {
+			a.counts[j]++
+		}
+	}
+	a.n++
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table is a simple column-aligned ASCII table.
@@ -38,12 +39,12 @@ func (t *Table) AddRow(cells ...any) {
 func (t *Table) Render(w io.Writer) error {
 	widths := make([]int, len(t.header))
 	for i, h := range t.header {
-		widths[i] = len(h)
+		widths[i] = cellWidth(h)
 	}
 	for _, row := range t.rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
+			if cw := cellWidth(cell); i < len(widths) && cw > widths[i] {
+				widths[i] = cw
 			}
 		}
 	}
@@ -72,11 +73,17 @@ func (t *Table) Render(w io.Writer) error {
 	return nil
 }
 
+// cellWidth is a cell's display width in columns. Byte length over-counts
+// multi-byte runes (sparklines, unicode labels), which used to misalign
+// every column to their right; rune count renders those correctly on
+// monospace terminals.
+func cellWidth(s string) int { return utf8.RuneCountInString(s) }
+
 func pad(s string, w int) string {
-	if len(s) >= w {
-		return s
+	if n := cellWidth(s); n < w {
+		return s + strings.Repeat(" ", w-n)
 	}
-	return s + strings.Repeat(" ", w-len(s))
+	return s
 }
 
 // FormatFloat renders a float compactly: scientific for very small/large
@@ -107,7 +114,8 @@ func abs(v float64) float64 {
 // CSV
 
 // WriteCSV writes a header plus rows of cells, comma-separated. Cells
-// containing commas or quotes are quoted.
+// containing commas, quotes, newlines or carriage returns are quoted
+// (RFC 4180).
 func WriteCSV(w io.Writer, header []string, rows [][]string) error {
 	writeLine := func(cells []string) error {
 		escaped := make([]string, len(cells))
@@ -129,7 +137,7 @@ func WriteCSV(w io.Writer, header []string, rows [][]string) error {
 }
 
 func escapeCSV(s string) string {
-	if strings.ContainsAny(s, ",\"\n") {
+	if strings.ContainsAny(s, ",\"\n\r") {
 		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 	}
 	return s

@@ -48,6 +48,32 @@ func TestTableColumnsAligned(t *testing.T) {
 	}
 }
 
+func TestTableColumnsAlignedMultibyteRunes(t *testing.T) {
+	// Regression: widths were computed from byte length, so a sparkline
+	// cell (3 bytes per rune) padded the column 2–3× too wide and every
+	// column after it drifted.
+	tbl := NewTable("trend", "mse")
+	tbl.AddRow("▁▂▃▄", "0.25")
+	tbl.AddRow("ascii", "1.5")
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	want := strings.IndexRune(lines[3], '1') // "1.5" offset in the ascii row
+	for i, probe := range map[int]string{0: "mse", 2: "0.25"} {
+		got := strings.Index(lines[i], probe)
+		if runeOffset(lines[i], got) != runeOffset(lines[3], want) {
+			t.Errorf("column 2 misaligned on line %d:\n%s", i, b.String())
+		}
+	}
+}
+
+// runeOffset converts a byte offset into a rune (display column) offset.
+func runeOffset(s string, byteIdx int) int {
+	return len([]rune(s[:byteIdx]))
+}
+
 func TestFormatFloat(t *testing.T) {
 	cases := []struct {
 		in   float64
@@ -76,6 +102,22 @@ func TestWriteCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := "name,value\nplain,1\n\"with,comma\",\"with\"\"quote\"\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestWriteCSVQuotesCarriageReturn(t *testing.T) {
+	// RFC 4180: a bare \r inside a cell must be quoted like \n, or readers
+	// see a broken record boundary.
+	var b strings.Builder
+	err := WriteCSV(&b,
+		[]string{"name"},
+		[][]string{{"line1\rline2"}, {"line1\nline2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "name\n\"line1\rline2\"\n\"line1\nline2\"\n"
 	if b.String() != want {
 		t.Errorf("CSV = %q, want %q", b.String(), want)
 	}

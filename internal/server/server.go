@@ -10,10 +10,14 @@
 // Collection type and its constructors are the deprecated pre-Stream
 // surface, kept as thin shims.
 //
-// Payload decoding is open: any protocol implementing
-// longitudinal.WireProtocol supplies its own decoder, and protocols that
-// cannot be modified are hooked in through RegisterDecoder. Nothing in
-// this package enumerates protocol types.
+// Payload ingestion is open and tallier-first: a protocol implementing
+// longitudinal.TallyProtocol supplies a WireTallier that tallies payload
+// bits straight into the shard aggregators with zero steady-state
+// allocations (every protocol in this repository does); any protocol
+// implementing longitudinal.WireProtocol supplies its own decoder as the
+// compatibility path, and protocols that cannot be modified are hooked in
+// through RegisterDecoder. Nothing in this package enumerates protocol
+// types.
 package server
 
 import (

@@ -6,6 +6,7 @@ import (
 	"slices"
 	"sync"
 
+	"github.com/loloha-ldp/loloha/internal/bitset"
 	"github.com/loloha-ldp/loloha/internal/heavyhitter"
 	"github.com/loloha-ldp/loloha/internal/longitudinal"
 	"github.com/loloha-ldp/loloha/internal/postprocess"
@@ -35,7 +36,13 @@ import (
 // publishes the estimates. With a non-mergeable aggregator the service
 // degrades to a single shard.
 type Stream struct {
-	proto   longitudinal.Protocol
+	proto longitudinal.Protocol
+	// tallier is the zero-allocation ingestion path: payload bits tally
+	// directly into the shard aggregator with no Report materialized. It
+	// is resolved from the protocol (longitudinal.TallyProtocol) unless
+	// WithDecoder overrides ingestion; decoder is the compatibility path
+	// and may be nil when the protocol supplies only a tallier.
+	tallier longitudinal.WireTallier
 	decoder Decoder
 
 	// mu is the round barrier: CloseRound/Collect hold it exclusively;
@@ -44,6 +51,10 @@ type Stream struct {
 	mu     sync.RWMutex
 	merge  longitudinal.MergeableAggregator // nil when single-shard
 	shards []*streamShard
+
+	// scratch pools IngestBatch's per-shard index lists and phase buffers
+	// so steady-state batches reuse memory across calls.
+	scratch sync.Pool
 
 	pp      postprocess.Method
 	tracker *heavyhitter.Tracker
@@ -58,13 +69,28 @@ type Stream struct {
 	collector *longitudinal.ShardedCollector
 }
 
-// streamShard owns the ingestion state of one stripe of users.
+// streamShard owns the ingestion state of one stripe of users. Enrollment
+// assigns each user a dense slot, so the steady-state hot path pays one
+// map lookup per report (userID → slot) instead of two (the former
+// map[int]Registration + map[int]bool pair): the registration lives in a
+// dense slice and the per-round duplicate check is one bit in a bitset
+// that resets every round without reallocating.
 type streamShard struct {
 	mu       sync.Mutex
 	agg      longitudinal.Aggregator
-	enrolled map[int]Registration
-	reported map[int]bool
+	slots    map[int]int    // userID → slot, assigned at Enroll
+	regs     []Registration // slot → enrollment metadata
+	reported *bitset.Bitset // slot → reported this round
 	tallied  int
+}
+
+// batchScratch is IngestBatch's reusable working memory: the per-shard
+// index lists of the partition phase plus the decode-path phase buffers.
+type batchScratch struct {
+	perShard [][]int
+	regs     []Registration
+	ok       []bool
+	reps     []longitudinal.Report
 }
 
 // RoundResult is one published collection round.
@@ -178,16 +204,27 @@ func NewStream(proto longitudinal.Protocol, opts ...Option) (*Stream, error) {
 	if cfg.cohortSet && cfg.cohortN < 1 {
 		return nil, fmt.Errorf("server: cohort needs at least one user, got %d", cfg.cohortN)
 	}
+	var tallier longitudinal.WireTallier
 	if cfg.decoder == nil {
+		// Tally-direct is the default ingestion path; Decoder is resolved
+		// alongside it as the compatibility path. A protocol providing
+		// only a tallier (no WireDecoder, no registry entry) is complete.
+		if tp, ok := proto.(longitudinal.TallyProtocol); ok {
+			tallier = tp.WireTallier()
+		}
 		dec, err := ForProtocol(proto)
 		if err != nil {
-			return nil, err
+			if tallier == nil {
+				return nil, err
+			}
+			dec = nil
 		}
 		cfg.decoder = dec
 	}
 
 	s := &Stream{
 		proto:    proto,
+		tallier:  tallier,
 		decoder:  cfg.decoder,
 		pp:       cfg.pp,
 		roundCap: cfg.roundCap,
@@ -204,8 +241,8 @@ func NewStream(proto longitudinal.Protocol, opts ...Option) (*Stream, error) {
 	s.shards = make([]*streamShard, shards)
 	for i := range s.shards {
 		sh := &streamShard{
-			enrolled: make(map[int]Registration),
-			reported: make(map[int]bool),
+			slots:    make(map[int]int),
+			reported: bitset.New(0),
 		}
 		if s.merge != nil {
 			sh.agg = ma.Fork()
@@ -213,6 +250,9 @@ func NewStream(proto longitudinal.Protocol, opts ...Option) (*Stream, error) {
 			sh.agg = agg
 		}
 		s.shards[i] = sh
+	}
+	s.scratch.New = func() any {
+		return &batchScratch{perShard: make([][]int, len(s.shards))}
 	}
 
 	if cfg.hh != nil {
@@ -295,21 +335,29 @@ func (s *Stream) Enroll(userID int, reg Registration) error {
 }
 
 func (sh *streamShard) enroll(userID int, reg Registration) error {
-	if prev, ok := sh.enrolled[userID]; ok {
+	if slot, ok := sh.slots[userID]; ok {
 		// Sampled buckets compare element-wise: two users with equally
 		// many but different buckets are NOT interchangeable (their
 		// support counts land in different histogram bins).
+		prev := sh.regs[slot]
 		if prev.HashSeed != reg.HashSeed || !slices.Equal(prev.Sampled, reg.Sampled) {
 			return fmt.Errorf("server: user %d already enrolled with different metadata", userID)
 		}
 		return nil
 	}
-	sh.enrolled[userID] = reg
+	slot := len(sh.regs)
+	sh.slots[userID] = slot
+	sh.regs = append(sh.regs, reg)
+	sh.reported.Grow(slot + 1)
 	return nil
 }
 
 // Ingest decodes and tallies one user's payload for the current round.
 // Duplicate reports within a round are rejected (they would bias Eq. (3)).
+// With a tally-capable protocol (longitudinal.TallyProtocol — every
+// protocol in this repository) the steady state performs zero allocations
+// per report: one map lookup resolves the user's slot, the duplicate check
+// is a bit test, and the payload tallies in place.
 func (s *Stream) Ingest(userID int, payload []byte) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -319,28 +367,36 @@ func (s *Stream) Ingest(userID int, payload []byte) error {
 	sh := s.shardOf(userID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	reg, ok := sh.enrolled[userID]
+	slot, ok := sh.slots[userID]
 	if !ok {
 		return fmt.Errorf("server: user %d not enrolled", userID)
 	}
-	if sh.reported[userID] {
+	if sh.reported.Get(slot) {
 		return fmt.Errorf("server: user %d already reported this round", userID)
 	}
-	rep, err := s.decoder.Decode(payload, reg)
-	if err != nil {
-		return fmt.Errorf("server: user %d payload: %w", userID, err)
+	if s.tallier != nil {
+		if err := s.tallier.TallyWire(sh.agg, userID, payload, sh.regs[slot]); err != nil {
+			return fmt.Errorf("server: user %d payload: %w", userID, err)
+		}
+	} else {
+		rep, err := s.decoder.Decode(payload, sh.regs[slot])
+		if err != nil {
+			return fmt.Errorf("server: user %d payload: %w", userID, err)
+		}
+		sh.agg.Add(userID, rep)
 	}
-	sh.agg.Add(userID, rep)
-	sh.reported[userID] = true
+	sh.reported.Set(slot, true)
 	sh.tallied++
 	return nil
 }
 
-// IngestBatch decodes and tallies a whole batch of payloads,
-// payloads[i] belonging to userIDs[i]. Decoding runs outside the shard
-// locks and each shard's lock is acquired once per phase rather than once
-// per report, which amortizes lock traffic on hot ingestion paths (see
-// BenchmarkIngestPath).
+// IngestBatch tallies a whole batch of payloads, payloads[i] belonging to
+// userIDs[i], with one shard-lock acquisition per shard per phase rather
+// than one per report. With a tally-capable protocol the batch tallies in
+// place in a single pass; with a Decoder, decoding (the expensive
+// per-report work) runs outside the shard locks. Either way the working
+// memory — per-shard index lists and phase buffers — comes from a pool,
+// so steady-state batches allocate nothing (see BenchmarkIngestPath).
 //
 // The batch is not transactional: every enrolled, non-duplicate,
 // well-formed report is tallied, and the returned error joins one error
@@ -357,9 +413,15 @@ func (s *Stream) IngestBatch(userIDs []int, payloads [][]byte) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 
+	sc := s.scratch.Get().(*batchScratch)
+	defer s.putScratch(sc)
+
 	var errs []error
 	// Partition the batch by shard so each phase takes one lock per shard.
-	perShard := make([][]int, len(s.shards))
+	perShard := sc.perShard
+	for i := range perShard {
+		perShard[i] = perShard[i][:0]
+	}
 	for i, u := range userIDs {
 		if err := s.checkWireID(u); err != nil {
 			errs = append(errs, err)
@@ -368,8 +430,47 @@ func (s *Stream) IngestBatch(userIDs []int, payloads [][]byte) error {
 		si := s.shardIndex(u)
 		perShard[si] = append(perShard[si], i)
 	}
-	regs := make([]Registration, len(userIDs))
-	ok := make([]bool, len(userIDs))
+
+	if s.tallier != nil {
+		// Tally-direct: enrollment lookup, duplicate check and in-place
+		// tally under one lock acquisition per shard. A user repeated
+		// within the batch is rejected exactly like a repeat across
+		// Ingest calls.
+		for si, idxs := range perShard {
+			if len(idxs) == 0 {
+				continue
+			}
+			sh := s.shards[si]
+			sh.mu.Lock()
+			for _, i := range idxs {
+				u := userIDs[i]
+				slot, found := sh.slots[u]
+				if !found {
+					errs = append(errs, fmt.Errorf("server: user %d not enrolled", u))
+					continue
+				}
+				if sh.reported.Get(slot) {
+					errs = append(errs, fmt.Errorf("server: user %d already reported this round", u))
+					continue
+				}
+				if err := s.tallier.TallyWire(sh.agg, u, payloads[i], sh.regs[slot]); err != nil {
+					errs = append(errs, fmt.Errorf("server: user %d payload: %w", u, err))
+					continue
+				}
+				sh.reported.Set(slot, true)
+				sh.tallied++
+			}
+			sh.mu.Unlock()
+		}
+		return errors.Join(errs...)
+	}
+
+	// Decoder path. Phase 1: snapshot registrations under the shard locks.
+	regs := growScratch(sc.regs, len(userIDs))
+	sc.regs = regs
+	ok := growScratch(sc.ok, len(userIDs))
+	sc.ok = ok
+	clear(ok)
 	for si, idxs := range perShard {
 		if len(idxs) == 0 {
 			continue
@@ -377,19 +478,20 @@ func (s *Stream) IngestBatch(userIDs []int, payloads [][]byte) error {
 		sh := s.shards[si]
 		sh.mu.Lock()
 		for _, i := range idxs {
-			reg, found := sh.enrolled[userIDs[i]]
+			slot, found := sh.slots[userIDs[i]]
 			if !found {
 				errs = append(errs, fmt.Errorf("server: user %d not enrolled", userIDs[i]))
 				continue
 			}
-			regs[i] = reg
+			regs[i] = sh.regs[slot]
 			ok[i] = true
 		}
 		sh.mu.Unlock()
 	}
 
-	// Decode with no locks held: the expensive per-report work.
-	reps := make([]longitudinal.Report, len(userIDs))
+	// Phase 2: decode with no locks held — the expensive per-report work.
+	reps := growScratch(sc.reps, len(userIDs))
+	sc.reps = reps
 	for i := range userIDs {
 		if !ok[i] {
 			continue
@@ -403,8 +505,8 @@ func (s *Stream) IngestBatch(userIDs []int, payloads [][]byte) error {
 		reps[i] = rep
 	}
 
-	// Tally: one lock acquisition per shard for the whole batch. The
-	// duplicate check runs here so a user repeated within the batch is
+	// Phase 3: tally, one lock acquisition per shard for the whole batch.
+	// The duplicate check runs here so a user repeated within the batch is
 	// rejected exactly like a repeat across Ingest calls.
 	for si, idxs := range perShard {
 		if len(idxs) == 0 {
@@ -417,17 +519,36 @@ func (s *Stream) IngestBatch(userIDs []int, payloads [][]byte) error {
 				continue
 			}
 			u := userIDs[i]
-			if sh.reported[u] {
+			slot := sh.slots[u]
+			if sh.reported.Get(slot) {
 				errs = append(errs, fmt.Errorf("server: user %d already reported this round", u))
 				continue
 			}
 			sh.agg.Add(u, reps[i])
-			sh.reported[u] = true
+			sh.reported.Set(slot, true)
 			sh.tallied++
 		}
 		sh.mu.Unlock()
 	}
 	return errors.Join(errs...)
+}
+
+// growScratch returns s resized to n elements, reusing its capacity when
+// possible. Contents are unspecified; callers overwrite or clear.
+func growScratch[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// putScratch returns batch working memory to the pool, dropping references
+// to decoded reports and registration snapshots so pooled buffers never
+// pin payload-derived data between batches.
+func (s *Stream) putScratch(sc *batchScratch) {
+	clear(sc.reps)
+	clear(sc.regs)
+	s.scratch.Put(sc)
 }
 
 // ---------------------------------------------------------------------------
@@ -525,7 +646,7 @@ func (s *Stream) closeRoundLocked(extraReports int) RoundResult {
 	for _, sh := range s.shards {
 		reports += sh.tallied
 		sh.tallied = 0
-		clear(sh.reported)
+		sh.reported.Reset()
 	}
 
 	estimates := append([]float64(nil), raw...)
@@ -616,7 +737,7 @@ func (s *Stream) Enrolled() int {
 	total := 0
 	for _, sh := range s.shards {
 		sh.mu.Lock()
-		total += len(sh.enrolled)
+		total += len(sh.slots)
 		sh.mu.Unlock()
 	}
 	return total

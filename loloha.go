@@ -157,9 +157,23 @@ type Decoder = server.Decoder
 // implements it.
 type WireProtocol = longitudinal.WireProtocol
 
-// NewStream returns a collection service for the protocol. The payload
-// decoder is resolved from the protocol itself (WireProtocol, then the
-// RegisterDecoder registry) unless WithDecoder overrides it.
+// WireTallier tallies a steady-state round payload directly into an
+// aggregator — no intermediate Report value — so wire ingestion performs
+// zero allocations per report. Stream resolves it automatically from
+// protocols implementing TallyProtocol.
+type WireTallier = longitudinal.WireTallier
+
+// TallyProtocol is a Protocol whose payloads can be tallied in place.
+// Every protocol in this repository implements it; external protocols
+// may implement only WireProtocol (or register a Decoder) and take the
+// decode path instead, with bit-identical estimates.
+type TallyProtocol = longitudinal.TallyProtocol
+
+// NewStream returns a collection service for the protocol. Ingestion is
+// resolved from the protocol itself — tallier first (TallyProtocol, the
+// zero-allocation path every built-in protocol provides), then a Decoder
+// via WireProtocol or the RegisterDecoder registry — unless WithDecoder
+// pins the stream to the decoder you supply.
 func NewStream(proto Protocol, opts ...StreamOption) (*Stream, error) {
 	return server.NewStream(proto, opts...)
 }

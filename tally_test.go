@@ -1,0 +1,289 @@
+// Tests for tally-direct ingestion: the WireTallier fast path must be
+// bit-identical to the Decoder compatibility path for every protocol
+// family and shard count, and the steady-state wire hot path must not
+// allocate — testing.AllocsPerRun pins Ingest at 0 allocs/report and
+// IngestBatch at 0 allocs/batch so regressions fail loudly instead of
+// showing up as GC pressure under production load.
+package loloha_test
+
+import (
+	"fmt"
+	"testing"
+
+	loloha "github.com/loloha-ldp/loloha"
+)
+
+// tallyProtocols builds one protocol per family, paired with the decoder
+// that pins a stream to the legacy Decoder path (WithDecoder disables the
+// protocol's tallier).
+func tallyProtocols(t testing.TB, k int) map[string]loloha.Protocol {
+	t.Helper()
+	protos := map[string]loloha.Protocol{}
+	add := func(name string, p loloha.Protocol, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		protos[name] = p
+	}
+	p1, err1 := loloha.NewBiLOLOHA(k, 2, 1)
+	add("LOLOHA", p1, err1)
+	p2, err2 := loloha.NewRAPPOR(k, 2, 1)
+	add("chained-UE", p2, err2)
+	p3, err3 := loloha.NewLGRR(k, 2, 1)
+	add("L-GRR", p3, err3)
+	p4, err4 := loloha.NewDBitFlipPM(k, 8, 3, 2)
+	add("dBitFlipPM", p4, err4)
+	return protos
+}
+
+// decoderOf resolves a protocol's wire decoder so tests can force the
+// Decoder path explicitly.
+func decoderOf(t testing.TB, proto loloha.Protocol) loloha.Decoder {
+	t.Helper()
+	wp, ok := proto.(loloha.WireProtocol)
+	if !ok {
+		t.Fatalf("%T does not implement WireProtocol", proto)
+	}
+	return wp.WireDecoder()
+}
+
+// TestTallyDirectMatchesDecoderPath is the acceptance gate of the
+// tally-direct refactor: for every protocol family × shard count, a stream
+// on the default tally path and a stream pinned to the Decoder path via
+// WithDecoder produce bit-identical estimates from identical payloads,
+// through both per-report and batch ingestion.
+func TestTallyDirectMatchesDecoderPath(t *testing.T) {
+	const k, n, rounds = 24, 400, 3
+	for name, proto := range tallyProtocols(t, k) {
+		for _, shards := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/shards=%d", name, shards), func(t *testing.T) {
+				tally, err := loloha.NewStream(proto, loloha.WithShards(shards))
+				if err != nil {
+					t.Fatal(err)
+				}
+				decode, err := loloha.NewStream(proto, loloha.WithShards(shards),
+					loloha.WithDecoder(decoderOf(t, proto)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				clients := make([]loloha.Client, n)
+				for u := range clients {
+					clients[u] = proto.NewClient(uint64(u)*0x9E3779B9 + 1)
+					reg := registrationFor(t, clients[u])
+					if err := tally.Enroll(u, reg); err != nil {
+						t.Fatal(err)
+					}
+					if err := decode.Enroll(u, reg); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for round := 0; round < rounds; round++ {
+					userIDs := make([]int, n)
+					payloads := make([][]byte, n)
+					for u, cl := range clients {
+						userIDs[u] = u
+						payloads[u] = cl.Report((u + round*7) % k).AppendBinary(nil)
+					}
+					// Odd rounds batch, even rounds go report by report, so
+					// both entry points are exercised on both paths.
+					if round%2 == 1 {
+						if err := tally.IngestBatch(userIDs, payloads); err != nil {
+							t.Fatal(err)
+						}
+						if err := decode.IngestBatch(userIDs, payloads); err != nil {
+							t.Fatal(err)
+						}
+					} else {
+						for u := range userIDs {
+							if err := tally.Ingest(u, payloads[u]); err != nil {
+								t.Fatal(err)
+							}
+							if err := decode.Ingest(u, payloads[u]); err != nil {
+								t.Fatal(err)
+							}
+						}
+					}
+					got, want := tally.CloseRound(), decode.CloseRound()
+					if got.Reports != n || want.Reports != n {
+						t.Fatalf("round %d: reports %d vs %d, want %d", round, got.Reports, want.Reports, n)
+					}
+					if !equalFloats(got.Raw, want.Raw) {
+						t.Fatalf("round %d: tally-direct estimates diverged from Decoder path", round)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTallyDirectRejectsWhatDecoderRejects: malformed payloads —
+// truncated, trailing bytes, out-of-range values — are rejected by both
+// paths, and a rejected payload tallies nothing on either.
+func TestTallyDirectRejectsWhatDecoderRejects(t *testing.T) {
+	const k = 24
+	for name, proto := range tallyProtocols(t, k) {
+		t.Run(name, func(t *testing.T) {
+			tally, err := loloha.NewStream(proto, loloha.WithShards(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			decode, err := loloha.NewStream(proto, loloha.WithShards(1),
+				loloha.WithDecoder(decoderOf(t, proto)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl := proto.NewClient(7)
+			reg := registrationFor(t, cl)
+			for _, s := range []*loloha.Stream{tally, decode} {
+				if err := s.Enroll(0, reg); err != nil {
+					t.Fatal(err)
+				}
+			}
+			good := cl.Report(3).AppendBinary(nil)
+			for label, payload := range map[string][]byte{
+				"empty":     {},
+				"truncated": good[:len(good)-1],
+				"trailing":  append(append([]byte{}, good...), 0xAA),
+			} {
+				tallyErr := tally.Ingest(0, payload)
+				decodeErr := decode.Ingest(0, payload)
+				if (tallyErr == nil) != (decodeErr == nil) {
+					t.Fatalf("%s payload: tally err=%v, decoder err=%v", label, tallyErr, decodeErr)
+				}
+			}
+			if got, want := tally.CloseRound(), decode.CloseRound(); got.Reports != want.Reports {
+				t.Fatalf("paths tallied different report counts: %d vs %d", got.Reports, want.Reports)
+			}
+		})
+	}
+}
+
+// TestIngestSteadyStateZeroAllocs pins the headline guarantee of the
+// tally-direct refactor: after enrollment and a warm-up round, wire Ingest
+// of every built-in protocol performs zero allocations per report.
+func TestIngestSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are only meaningful without -race")
+	}
+	const k, n, runs = 24, 256, 100
+	for name, proto := range tallyProtocols(t, k) {
+		t.Run(name, func(t *testing.T) {
+			stream, err := loloha.NewStream(proto, loloha.WithShards(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			payloads := make([][]byte, n)
+			for u := 0; u < n; u++ {
+				cl := proto.NewClient(uint64(u) + 3)
+				if err := stream.Enroll(u, registrationFor(t, cl)); err != nil {
+					t.Fatal(err)
+				}
+				payloads[u] = cl.Report(u % k).AppendBinary(nil)
+			}
+			// Warm-up round: first-sight work (the LOLOHA per-user hash
+			// table) is enrollment-time cost, not steady state.
+			for u := 0; u < n; u++ {
+				if err := stream.Ingest(u, payloads[u]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			stream.CloseRound()
+			u := 0
+			avg := testing.AllocsPerRun(runs, func() {
+				if err := stream.Ingest(u, payloads[u]); err != nil {
+					t.Fatal(err)
+				}
+				u++
+			})
+			if avg != 0 {
+				t.Errorf("steady-state Ingest allocates %.2f times per report, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestIngestBatchScratchReuse: steady-state batches on the tally path
+// reuse pooled working memory — zero allocations per batch — and the
+// Decoder path's pooled phase buffers hold its per-report cost to the
+// decode itself (the materialized Report), not batch bookkeeping.
+func TestIngestBatchScratchReuse(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are only meaningful without -race")
+	}
+	const k, batchSize, runs = 24, 64, 20
+	proto := tallyProtocols(t, k)["LOLOHA"]
+	mkBatches := func(s *loloha.Stream) ([][]int, [][][]byte) {
+		t.Helper()
+		nBatches := runs + 2
+		ids := make([][]int, nBatches)
+		payloads := make([][][]byte, nBatches)
+		u := 0
+		for b := range ids {
+			ids[b] = make([]int, batchSize)
+			payloads[b] = make([][]byte, batchSize)
+			for i := 0; i < batchSize; i++ {
+				cl := proto.NewClient(uint64(u)*31 + 5)
+				if err := s.Enroll(u, registrationFor(t, cl)); err != nil {
+					t.Fatal(err)
+				}
+				ids[b][i] = u
+				payloads[b][i] = cl.Report(u % k).AppendBinary(nil)
+				u++
+			}
+		}
+		return ids, payloads
+	}
+
+	t.Run("tally", func(t *testing.T) {
+		stream, err := loloha.NewStream(proto, loloha.WithShards(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids, payloads := mkBatches(stream)
+		// Warm-up: populate the scratch pool and the per-user hash tables.
+		for b := range ids {
+			if err := stream.IngestBatch(ids[b], payloads[b]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stream.CloseRound()
+		b := 0
+		avg := testing.AllocsPerRun(runs, func() {
+			if err := stream.IngestBatch(ids[b], payloads[b]); err != nil {
+				t.Fatal(err)
+			}
+			b++
+		})
+		if avg != 0 {
+			t.Errorf("steady-state IngestBatch allocates %.2f times per batch, want 0", avg)
+		}
+	})
+
+	t.Run("decoder", func(t *testing.T) {
+		stream, err := loloha.NewStream(proto, loloha.WithShards(4),
+			loloha.WithDecoder(decoderOf(t, proto)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids, payloads := mkBatches(stream)
+		for b := range ids {
+			if err := stream.IngestBatch(ids[b], payloads[b]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stream.CloseRound()
+		b := 0
+		avg := testing.AllocsPerRun(runs, func() {
+			if err := stream.IngestBatch(ids[b], payloads[b]); err != nil {
+				t.Fatal(err)
+			}
+			b++
+		})
+		// One boxed Report per payload is the decode cost itself; the
+		// pooled scratch must not add batch-proportional allocations on
+		// top of it.
+		if perReport := avg / batchSize; perReport > 1.5 {
+			t.Errorf("decoder-path IngestBatch allocates %.2f times per report, want <= 1.5 (scratch not reused?)", perReport)
+		}
+	})
+}
