@@ -396,7 +396,7 @@ func BenchmarkAblationIRRCalibration(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				spec := simulation.Spec{Name: name, Build: func(int, float64, float64) (longitudinal.Protocol, error) {
+				spec := simulation.Spec{Name: name, BuildFunc: func(int, float64, float64) (longitudinal.Protocol, error) {
 					return proto, nil
 				}}
 				pts, err := simulation.RunMSE(ds, []simulation.Spec{spec}, simulation.Config{

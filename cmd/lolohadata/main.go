@@ -4,12 +4,17 @@
 //	lolohadata -dataset syn                  # summary statistics
 //	lolohadata -dataset adult -hist          # marginal histogram sketch
 //	lolohadata -dataset db_mt -export x.csv  # dump user×round value matrix
+//	lolohadata -dataset syn -specs s.json    # dataset's standard ProtocolSpecs
+//
+// The -specs output is the declarative §5.1 protocol set for the dataset
+// (bucket counts and all), ready for `lolohasim fig3 -spec s.json`.
 //
 // The folktables and Adult workloads are offline surrogates; DESIGN.md
 // documents what they preserve from the originals.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,7 +22,9 @@ import (
 	"strconv"
 
 	"github.com/loloha-ldp/loloha/internal/datasets"
+	"github.com/loloha-ldp/loloha/internal/longitudinal"
 	"github.com/loloha-ldp/loloha/internal/report"
+	"github.com/loloha-ldp/loloha/internal/simulation"
 )
 
 func main() {
@@ -29,16 +36,20 @@ func main() {
 
 func run() error {
 	var (
-		name   = flag.String("dataset", "syn", "syn, adult, db_mt, db_de or all")
-		seed   = flag.Int64("seed", 42, "generation seed")
-		hist   = flag.Bool("hist", false, "print a sketch of the round-0 marginal")
-		export = flag.String("export", "", "write the value matrix as CSV to this path")
+		name     = flag.String("dataset", "syn", "syn, adult, db_mt, db_de or all")
+		seed     = flag.Int64("seed", 42, "generation seed")
+		hist     = flag.Bool("hist", false, "print a sketch of the round-0 marginal")
+		export   = flag.String("export", "", "write the value matrix as CSV to this path")
+		specsOut = flag.String("specs", "", "write the dataset's standard ProtocolSpec list (JSON) to this path, for lolohasim -spec")
 	)
 	flag.Parse()
 
 	names := datasets.Names()
 	if *name != "all" {
 		names = []string{*name}
+	}
+	if *specsOut != "" && len(names) != 1 {
+		return fmt.Errorf("-specs needs a single -dataset (the spec shape is per dataset)")
 	}
 	for _, n := range names {
 		ds, err := datasets.ByName(n, uint64(*seed))
@@ -54,8 +65,30 @@ func run() error {
 			}
 			fmt.Printf("value matrix written to %s\n", *export)
 		}
+		if *specsOut != "" {
+			if err := exportSpecs(ds, *specsOut); err != nil {
+				return err
+			}
+			fmt.Printf("protocol specs written to %s\n", *specsOut)
+		}
 	}
 	return nil
+}
+
+// exportSpecs writes the dataset's standard §5.1 protocol set as a JSON
+// array of declarative ProtocolSpecs. The budget fields stay zero — the
+// lolohasim grid fills them per (ε∞, α) cell.
+func exportSpecs(ds *datasets.Dataset, path string) error {
+	standard := simulation.StandardSpecs(ds.Name, ds.K)
+	specs := make([]longitudinal.ProtocolSpec, len(standard))
+	for i, s := range standard {
+		specs[i] = s.Proto
+	}
+	data, err := json.MarshalIndent(specs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func summarize(ds *datasets.Dataset, hist bool) error {

@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"github.com/loloha-ldp/loloha/internal/datasets"
+	"github.com/loloha-ldp/loloha/internal/longitudinal"
+	"github.com/loloha-ldp/loloha/internal/simulation"
 )
 
 func TestSummarizeRuns(t *testing.T) {
@@ -42,5 +44,33 @@ func TestExportCSVBadPath(t *testing.T) {
 	ds := datasets.Syn(datasets.SynConfig{K: 10, N: 2, Tau: 2, Seed: 3})
 	if err := exportCSV(ds, "/nonexistent-dir/x.csv"); err == nil {
 		t.Error("bad path accepted")
+	}
+}
+
+func TestSpecExportRoundTrips(t *testing.T) {
+	ds := datasets.Syn(datasets.SynConfig{K: 20, N: 10, Tau: 2, Seed: 3})
+	path := filepath.Join(t.TempDir(), "specs.json")
+	if err := exportSpecs(ds, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := longitudinal.ParseSpecs(data)
+	if err != nil {
+		t.Fatalf("exported specs do not parse: %v\n%s", err, data)
+	}
+	if want := len(simulation.StandardSpecs(ds.Name, ds.K)); len(specs) != want {
+		t.Fatalf("exported %d specs, want %d", len(specs), want)
+	}
+	for _, ps := range specs {
+		if ps.K != ds.K {
+			t.Errorf("%s: exported k = %d, want %d", ps.Family, ps.K, ds.K)
+		}
+		// The budgets stay open for the grid; filling them must build.
+		if _, err := (simulation.Spec{Name: ps.Family, Proto: ps}).Build(ds.K, 2, 1); err != nil {
+			t.Errorf("%s: exported spec does not build: %v", ps.Family, err)
+		}
 	}
 }

@@ -7,22 +7,27 @@
 //	lolohasim fig4 -dataset syn         # averaged longitudinal privacy loss
 //	lolohasim table1                    # theoretical comparison
 //	lolohasim table2 -dataset syn       # dBitFlipPM change detection
+//	lolohasim specs                     # registered protocol families
 //	lolohasim all                       # everything, all datasets
 //
 // Flags control the grid (-eps, -alphas), the repetitions (-runs), the
 // cohort randomness (-seed), parallelism (-workers for grid cells,
-// -shards for intra-collection sharding) and CSV output (-csv).
+// -shards for intra-collection sharding), protocol selection (-proto for
+// a subset of the standard set, -spec for a declarative ProtocolSpec JSON
+// file) and CSV output (-csv).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
+	loloha "github.com/loloha-ldp/loloha"
 	"github.com/loloha-ldp/loloha/internal/analysis"
 	"github.com/loloha-ldp/loloha/internal/datasets"
 	"github.com/loloha-ldp/loloha/internal/report"
@@ -30,15 +35,17 @@ import (
 )
 
 type options struct {
-	dataset string
-	runs    int
-	eps     []float64
-	alphas  []float64
-	n       int
-	seed    uint64
-	workers int
-	shards  int
-	csvDir  string
+	dataset  string
+	runs     int
+	eps      []float64
+	alphas   []float64
+	n        int
+	seed     uint64
+	workers  int
+	shards   int
+	proto    string
+	specFile string
+	csvDir   string
 }
 
 func main() {
@@ -67,6 +74,8 @@ func run(args []string) error {
 	fs.Int64Var(&seed64, "seed", 42, "experiment seed")
 	fs.IntVar(&o.workers, "workers", 0, "parallel cells (0 = GOMAXPROCS)")
 	fs.IntVar(&o.shards, "shards", 1, "per-collection user shards, >= 0 (0 or 1 serial; results identical for any value)")
+	fs.StringVar(&o.proto, "proto", "", "comma-separated subset of the standard protocols for fig3/fig4 (see `lolohasim specs`)")
+	fs.StringVar(&o.specFile, "spec", "", "JSON ProtocolSpec file (object or array) replacing the standard fig3/fig4 protocol set; the grid fills eps_inf/eps1 per cell")
 	fs.StringVar(&o.csvDir, "csv", "", "directory to also write CSV results into")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -82,15 +91,15 @@ func run(args []string) error {
 	o.seed = uint64(seed64)
 
 	var err error
-	if o.eps, err = parseFloats(epsStr, analysis.DefaultEpsInfGrid()); err != nil {
-		return fmt.Errorf("bad -eps: %w", err)
+	if o.eps, err = parseFloats("-eps", epsStr, analysis.DefaultEpsInfGrid()); err != nil {
+		return err
 	}
 	defAlphas := []float64{0.4, 0.5, 0.6}
 	if cmd == "fig1" || cmd == "fig2" {
 		defAlphas = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
 	}
-	if o.alphas, err = parseFloats(alphaStr, defAlphas); err != nil {
-		return fmt.Errorf("bad -alphas: %w", err)
+	if o.alphas, err = parseFloats("-alphas", alphaStr, defAlphas); err != nil {
+		return err
 	}
 
 	switch cmd {
@@ -108,6 +117,8 @@ func run(args []string) error {
 		return overDatasets(o, table2)
 	case "ablation":
 		return ablation(o)
+	case "specs":
+		return specsCmd(os.Stdout)
 	case "all":
 		if err := fig1(o); err != nil {
 			return err
@@ -131,12 +142,16 @@ func run(args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lolohasim <command> [flags]
-commands: fig1 fig2 fig3 fig4 table1 table2 ablation all
-flags:    -dataset -runs -eps -alphas -n -seed -workers -shards -csv`)
+	fmt.Fprintf(os.Stderr, `usage: lolohasim <command> [flags]
+commands:  fig1 fig2 fig3 fig4 table1 table2 ablation specs all
+protocols: %s (-proto; families via 'lolohasim specs')
+flags:     -dataset -runs -eps -alphas -n -seed -workers -shards -proto -spec -csv
+`, strings.Join(simulation.StandardSpecNames(), " "))
 }
 
-func parseFloats(s string, def []float64) ([]float64, error) {
+// parseFloats parses a comma-separated float list; errors carry the flag
+// name and the offending token rather than a bare strconv message.
+func parseFloats(flagName, s string, def []float64) ([]float64, error) {
 	if s == "" {
 		return def, nil
 	}
@@ -145,11 +160,90 @@ func parseFloats(s string, def []float64) ([]float64, error) {
 	for _, p := range parts {
 		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("bad %s: token %q: %w", flagName, p, err)
 		}
 		out = append(out, f)
 	}
 	return out, nil
+}
+
+// specsFor resolves the protocol set for a dataset-driven figure: the
+// standard §5.1 specs by default, a -proto subset of them, or the contents
+// of a -spec JSON file built through the protocol family registry.
+func specsFor(o options, ds *datasets.Dataset) ([]simulation.Spec, error) {
+	if o.specFile != "" {
+		if o.proto != "" {
+			return nil, fmt.Errorf("-proto and -spec are mutually exclusive")
+		}
+		data, err := os.ReadFile(o.specFile)
+		if err != nil {
+			return nil, err
+		}
+		protos, err := loloha.ParseSpecs(data)
+		if err != nil {
+			return nil, err
+		}
+		if len(protos) == 0 {
+			return nil, fmt.Errorf("-spec %s: no protocol specs in file", o.specFile)
+		}
+		specs := make([]simulation.Spec, 0, len(protos))
+		seen := map[string]int{}
+		for _, ps := range protos {
+			name := ps.Family
+			if seen[name]++; seen[name] > 1 {
+				name = fmt.Sprintf("%s#%d", ps.Family, seen[ps.Family])
+			}
+			specs = append(specs, simulation.Spec{Name: name, Proto: ps})
+		}
+		return specs, nil
+	}
+	specs := simulation.StandardSpecs(ds.Name, ds.K)
+	if o.proto == "" {
+		return specs, nil
+	}
+	var kept []simulation.Spec
+	for _, name := range strings.Split(o.proto, ",") {
+		s, err := simulation.SpecByName(ds.Name, ds.K, strings.TrimSpace(name))
+		if err != nil {
+			return nil, fmt.Errorf("bad -proto: %w", err)
+		}
+		kept = append(kept, s)
+	}
+	return kept, nil
+}
+
+// specsCmd prints the registered protocol families with their parameter
+// domains: everything a declarative ProtocolSpec (-spec) can build.
+func specsCmd(w io.Writer) error {
+	fmt.Fprintln(w, "== Registered protocol families (loloha.RegisterFamily) ==")
+	tbl := report.NewTable("family", "required", "optional", "description")
+	fields := func(fs []loloha.SpecField) string {
+		if len(fs) == 0 {
+			return "-"
+		}
+		parts := make([]string, len(fs))
+		for i, f := range fs {
+			parts[i] = string(f)
+		}
+		return strings.Join(parts, ",")
+	}
+	for _, name := range loloha.Families() {
+		info, ok := loloha.LookupFamily(name)
+		if !ok {
+			continue
+		}
+		doc := info.Doc
+		if info.Build == nil {
+			doc = strings.TrimSpace(doc + " (decoder-only: not spec-constructible)")
+		}
+		tbl.AddRow(name, fields(info.Required), fields(info.Optional), doc)
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nstandard simulation set (-proto): %s\n",
+		strings.Join(simulation.StandardSpecNames(), ", "))
+	return nil
 }
 
 func overDatasets(o options, f func(options, *datasets.Dataset) error) error {
@@ -228,10 +322,14 @@ func fig2(o options) error {
 
 func fig3(o options, ds *datasets.Dataset) error {
 	fmt.Printf("\n== Fig. 3 (%s): MSE_avg (Eq. 7), runs=%d ==\n", ds.Name, o.runs)
-	specs := simulation.StandardSpecs(ds.Name, ds.K)
+	specs, err := specsFor(o, ds)
+	if err != nil {
+		return err
+	}
 	// The paper omits dBitFlipPM from the MSE plots when b < k (bucket
-	// histograms are not comparable to k-bin ones).
-	if ds.Name == "db_mt" || ds.Name == "db_de" {
+	// histograms are not comparable to k-bin ones). An explicit -proto or
+	// -spec selection is honored as given.
+	if o.proto == "" && o.specFile == "" && (ds.Name == "db_mt" || ds.Name == "db_de") {
 		var kept []simulation.Spec
 		for _, s := range specs {
 			if !strings.Contains(s.Name, "BitFlipPM") {
@@ -252,7 +350,10 @@ func fig3(o options, ds *datasets.Dataset) error {
 func fig4(o options, ds *datasets.Dataset) error {
 	fmt.Printf("\n== Fig. 4 (%s): averaged longitudinal privacy loss (Eq. 8), runs=%d ==\n",
 		ds.Name, o.runs)
-	specs := simulation.StandardSpecs(ds.Name, ds.K)
+	specs, err := specsFor(o, ds)
+	if err != nil {
+		return err
+	}
 	pts, err := simulation.RunPrivacyLoss(ds, specs, gridConfig(o))
 	if err != nil {
 		return err

@@ -1,18 +1,23 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
+	"github.com/loloha-ldp/loloha/internal/datasets"
 	"github.com/loloha-ldp/loloha/internal/simulation"
 )
 
 func TestParseFloats(t *testing.T) {
 	def := []float64{1, 2}
-	got, err := parseFloats("", def)
+	got, err := parseFloats("-eps", "", def)
 	if err != nil || len(got) != 2 || got[0] != 1 {
 		t.Errorf("default parse: %v %v", got, err)
 	}
-	got, err = parseFloats("0.5, 1.5,3", def)
+	got, err = parseFloats("-eps", "0.5, 1.5,3", def)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,8 +27,19 @@ func TestParseFloats(t *testing.T) {
 			t.Errorf("parsed %v, want %v", got, want)
 		}
 	}
-	if _, err := parseFloats("0.5,x", def); err == nil {
+	if _, err := parseFloats("-eps", "0.5,x", def); err == nil {
 		t.Error("garbage accepted")
+	}
+	// The error names the flag and the offending token (here: the empty
+	// token of a double comma), not just the bare strconv failure.
+	_, err = parseFloats("-alphas", "1,,2", def)
+	if err == nil {
+		t.Fatal("empty token accepted")
+	}
+	for _, want := range []string{"-alphas", `""`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %s", err, want)
+		}
 	}
 }
 
@@ -50,6 +66,62 @@ func TestOrderedProtocols(t *testing.T) {
 		if got[i] != want[i] {
 			t.Errorf("order %v, want %v", got, want)
 		}
+	}
+}
+
+func TestSpecsCommandListsFamilies(t *testing.T) {
+	var buf bytes.Buffer
+	if err := specsCmd(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"LOLOHA", "RAPPOR", "dBitFlipPM", "eps_inf", "-proto"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("specs output missing %q", want)
+		}
+	}
+}
+
+func TestSpecsCommandViaRun(t *testing.T) {
+	if err := run([]string{"specs"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecFileSelection(t *testing.T) {
+	ds := datasets.Syn(datasets.SynConfig{K: 12, N: 10, Tau: 2, Seed: 1})
+	path := filepath.Join(t.TempDir(), "specs.json")
+	specJSON := `[{"family":"L-GRR","k":12},{"family":"dBitFlipPM","k":12,"b":6,"d":2}]`
+	if err := os.WriteFile(path, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	specs, err := specsFor(options{specFile: path}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].Name != "L-GRR" || specs[1].Name != "dBitFlipPM" {
+		t.Fatalf("spec-file selection = %+v", specs)
+	}
+	for _, s := range specs {
+		// The grid fills the budgets; dBitFlipPM must ignore eps1.
+		if _, err := s.Build(ds.K, 2, 1); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+
+	// -proto filters the standard set; unknown names enumerate what exists.
+	specs, err = specsFor(options{proto: "RAPPOR, BiLOLOHA"}, ds)
+	if err != nil || len(specs) != 2 || specs[0].Name != "RAPPOR" || specs[1].Name != "BiLOLOHA" {
+		t.Fatalf("-proto selection = %+v, %v", specs, err)
+	}
+	if _, err := specsFor(options{proto: "nope"}, ds); err == nil || !strings.Contains(err.Error(), "available:") {
+		t.Errorf("-proto nope error = %v, want available-protocol list", err)
+	}
+	if _, err := specsFor(options{proto: "RAPPOR", specFile: path}, ds); err == nil {
+		t.Error("-proto and -spec accepted together")
+	}
+	if _, err := specsFor(options{specFile: filepath.Join(t.TempDir(), "missing.json")}, ds); err == nil {
+		t.Error("missing spec file accepted")
 	}
 }
 

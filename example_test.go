@@ -6,6 +6,32 @@ import (
 	loloha "github.com/loloha-ldp/loloha"
 )
 
+// Declarative construction: a serializable ProtocolSpec replaces the
+// positional New* constructors, and a built protocol describes itself back
+// via SpecOf — the spec round-trips through JSON, config files and RPCs.
+func ExampleProtocolSpec() {
+	spec, err := loloha.ParseSpec([]byte(`{"family":"BiLOLOHA","k":4,"eps_inf":1.0,"eps1":0.5}`))
+	if err != nil {
+		panic(err)
+	}
+	proto, err := spec.Build()
+	if err != nil {
+		panic(err)
+	}
+	stream, err := loloha.NewStream(proto, loloha.WithCohort(3, 42))
+	if err != nil {
+		panic(err)
+	}
+	res, err := stream.Collect([]int{0, 0, 1})
+	if err != nil {
+		panic(err)
+	}
+	back, _ := loloha.SpecOf(proto)
+	fmt.Printf("%s over k=%d: %d estimates from %d reports\n",
+		back.Family, back.K, len(res.Raw), res.Reports)
+	// Output: BiLOLOHA over k=4: 4 estimates from 3 reports
+}
+
 // The simplest possible deployment: one stream, an attached simulation
 // cohort, one round.
 func ExampleNewStream() {

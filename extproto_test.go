@@ -10,6 +10,7 @@ package loloha_test
 import (
 	"fmt"
 	"math"
+	"slices"
 	"testing"
 
 	loloha "github.com/loloha-ldp/loloha"
@@ -158,4 +159,37 @@ func TestExternalDecoderOptionRoundTrip(t *testing.T) {
 	// WithDecoder bypasses resolution entirely.
 	proto := newExternalProtocol(10, false)
 	runExternalProtocol(t, proto, loloha.WithDecoder(histDecoder{k: 10}))
+}
+
+func TestSpecExternalFamilyRegistry(t *testing.T) {
+	// One RegisterFamily call makes an out-of-repository protocol
+	// constructible from a declarative ProtocolSpec AND resolvable at the
+	// wire level — build and decoder resolution share the entry, with no
+	// separate RegisterDecoder step.
+	const fam = "ext-hist-family"
+	loloha.RegisterFamily(fam, loloha.FamilyInfo{
+		Doc:      "noise-free histogram (test-only)",
+		Required: []loloha.SpecField{loloha.SpecFieldK},
+		Build: func(s loloha.ProtocolSpec) (loloha.Protocol, error) {
+			return &histBase{k: s.K, name: fam}, nil
+		},
+		NewDecoder: func(p loloha.Protocol) (loloha.Decoder, error) {
+			return histDecoder{k: p.K()}, nil
+		},
+	})
+	defer loloha.RegisterFamily(fam, loloha.FamilyInfo{}) // zero info unregisters
+
+	if reg := loloha.Families(); !slices.Contains(reg, fam) {
+		t.Fatalf("registered family %q missing from Families() = %v", fam, reg)
+	}
+	proto, err := loloha.ProtocolSpec{Family: fam, K: 10}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runExternalProtocol(t, proto)
+	// histBase does not implement SpecProtocol; SpecOf reports that
+	// honestly instead of inventing a description.
+	if _, ok := loloha.SpecOf(proto); ok {
+		t.Error("SpecOf invented a spec for a protocol without Spec()")
+	}
 }

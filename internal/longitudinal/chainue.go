@@ -180,6 +180,13 @@ func (c *ChainUE) SteadyReportBits() int { return c.k }
 // WireDecoder implements WireProtocol.
 func (c *ChainUE) WireDecoder() Decoder { return UEDecoder{K: c.k} }
 
+// Spec implements SpecProtocol. Chains built through NewChainUE with a
+// custom name yield a spec whose family may not be registered; the four
+// standard calibrations round-trip.
+func (c *ChainUE) Spec() ProtocolSpec {
+	return ProtocolSpec{Family: c.name, K: c.k, EpsInf: c.epsInf, Eps1: c.eps1}
+}
+
 // NewClient implements Protocol.
 func (c *ChainUE) NewClient(seed uint64) Client {
 	return &chainUEClient{

@@ -23,14 +23,23 @@ type DBitFlipPM struct {
 }
 
 // NewDBitFlipPM returns a dBitFlipPM protocol over domain size k with b
-// buckets, d sampled bits per user and longitudinal budget epsInf.
+// buckets, d sampled bits per user and longitudinal budget epsInf. The
+// bounds k >= 2, 2 <= b <= k and 1 <= d <= b are all validated here with
+// protocol-level errors, so a mis-derived bucket count (e.g. b = ⌊k/4⌋ on
+// a tiny domain) fails at construction instead of misbehaving downstream.
 func NewDBitFlipPM(k, b, d int, epsInf float64) (*DBitFlipPM, error) {
-	z, err := domain.NewBucketizer(k, b)
-	if err != nil {
-		return nil, err
+	if k < 2 {
+		return nil, fmt.Errorf("longitudinal: dBitFlipPM needs k >= 2, got k=%d", k)
+	}
+	if b < 2 || b > k {
+		return nil, fmt.Errorf("longitudinal: dBitFlipPM needs 2 <= b <= k, got b=%d k=%d", b, k)
 	}
 	if d < 1 || d > b {
 		return nil, fmt.Errorf("longitudinal: dBitFlipPM needs 1 <= d <= b, got d=%d b=%d", d, b)
+	}
+	z, err := domain.NewBucketizer(k, b)
+	if err != nil {
+		return nil, err
 	}
 	if epsInf <= 0 {
 		return nil, fmt.Errorf("longitudinal: dBitFlipPM needs epsInf > 0, got %v", epsInf)
@@ -84,6 +93,13 @@ func (m *DBitFlipPM) SteadyReportBits() int { return m.d }
 
 // WireDecoder implements WireProtocol.
 func (m *DBitFlipPM) WireDecoder() Decoder { return DBitDecoder{} }
+
+// Spec implements SpecProtocol. The family is always the generic
+// "dBitFlipPM" with explicit b and d — the canonical form the 1BitFlipPM /
+// bBitFlipPM convenience families normalize to.
+func (m *DBitFlipPM) Spec() ProtocolSpec {
+	return ProtocolSpec{Family: "dBitFlipPM", K: m.k, B: m.b, D: m.d, EpsInf: m.epsInf}
+}
 
 // NewClient implements Protocol.
 func (m *DBitFlipPM) NewClient(seed uint64) Client {

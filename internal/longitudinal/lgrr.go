@@ -76,6 +76,11 @@ func (m *LGRR) SteadyReportBits() int {
 // WireDecoder implements WireProtocol.
 func (m *LGRR) WireDecoder() Decoder { return GRRDecoder{K: m.k} }
 
+// Spec implements SpecProtocol.
+func (m *LGRR) Spec() ProtocolSpec {
+	return ProtocolSpec{Family: "L-GRR", K: m.k, EpsInf: m.epsInf, Eps1: m.eps1}
+}
+
 // NewClient implements Protocol.
 func (m *LGRR) NewClient(seed uint64) Client {
 	return &lgrrClient{

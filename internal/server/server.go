@@ -22,7 +22,6 @@ package server
 
 import (
 	"fmt"
-	"sync"
 
 	"github.com/loloha-ldp/loloha/internal/longitudinal"
 )
@@ -35,32 +34,27 @@ type Registration = longitudinal.Registration
 type Decoder = longitudinal.Decoder
 
 // ---------------------------------------------------------------------------
-// Decoder resolution: WireProtocol first, then the registry.
-
-var (
-	registryMu      sync.RWMutex
-	decoderRegistry = map[string]func(longitudinal.Protocol) (Decoder, error){}
-)
+// Decoder resolution: WireProtocol first, then the family registry.
 
 // RegisterDecoder associates a decoder factory with a protocol name
 // (Protocol.Name), for protocols that cannot implement
 // longitudinal.WireProtocol themselves. A WireProtocol implementation
 // always wins over a registry entry. Registering the same name twice
-// replaces the earlier factory.
+// replaces the earlier factory; a nil factory removes it.
+//
+// This is a compatibility shim over the unified protocol family registry
+// (longitudinal.RegisterFamily): it creates or updates the family's
+// NewDecoder only. Registering the full FamilyInfo additionally makes the
+// protocol constructible from a declarative longitudinal.ProtocolSpec.
 func RegisterDecoder(name string, mk func(longitudinal.Protocol) (Decoder, error)) {
-	registryMu.Lock()
-	defer registryMu.Unlock()
-	if mk == nil {
-		delete(decoderRegistry, name)
-		return
-	}
-	decoderRegistry[name] = mk
+	longitudinal.RegisterWireDecoder(name, mk)
 }
 
 // ForProtocol resolves the payload decoder for a protocol: the protocol's
 // own WireDecoder when it implements longitudinal.WireProtocol (every
-// protocol in this repository does), otherwise a factory registered under
-// its name via RegisterDecoder.
+// protocol in this repository does), otherwise the NewDecoder of the family
+// registered under its name (longitudinal.RegisterFamily or the
+// RegisterDecoder shim).
 func ForProtocol(p longitudinal.Protocol) (Decoder, error) {
 	if p == nil {
 		return nil, fmt.Errorf("server: nil protocol")
@@ -68,13 +62,10 @@ func ForProtocol(p longitudinal.Protocol) (Decoder, error) {
 	if wp, ok := p.(longitudinal.WireProtocol); ok {
 		return wp.WireDecoder(), nil
 	}
-	registryMu.RLock()
-	mk := decoderRegistry[p.Name()]
-	registryMu.RUnlock()
-	if mk != nil {
-		return mk(p)
+	if info, ok := longitudinal.LookupFamily(p.Name()); ok && info.NewDecoder != nil {
+		return info.NewDecoder(p)
 	}
-	return nil, fmt.Errorf("server: no decoder for %T: implement longitudinal.WireProtocol or RegisterDecoder(%q, ...)",
+	return nil, fmt.Errorf("server: no decoder for %T: implement longitudinal.WireProtocol, or register family %q (RegisterFamily / RegisterDecoder)",
 		p, p.Name())
 }
 

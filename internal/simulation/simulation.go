@@ -13,66 +13,120 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"github.com/loloha-ldp/loloha/internal/attack"
-	"github.com/loloha-ldp/loloha/internal/core"
+	// The blank core import links the LOLOHA families into the protocol
+	// family registry; every spec here builds through that registry.
+	_ "github.com/loloha-ldp/loloha/internal/core"
 	"github.com/loloha-ldp/loloha/internal/datasets"
 	"github.com/loloha-ldp/loloha/internal/longitudinal"
 	"github.com/loloha-ldp/loloha/internal/postprocess"
 	"github.com/loloha-ldp/loloha/internal/randsrc"
 )
 
-// Spec names a protocol and knows how to build it for a budget pair.
+// Spec names a protocol of the experiment grid. It is declarative: Proto is
+// a longitudinal.ProtocolSpec template whose budget fields the grid fills
+// per cell and resolves through the protocol family registry — no
+// per-family constructor closures. Any family registered with
+// longitudinal.RegisterFamily (including external ones) is usable here.
 type Spec struct {
+	// Name labels the grid rows; defaults matter only for presentation.
 	Name string
-	// Build constructs the protocol for domain size k at (ε∞, ε1).
-	Build func(k int, epsInf, eps1 float64) (longitudinal.Protocol, error)
+	// Proto is the declarative template: family plus fixed shape parameters
+	// (k, g, b, d). A zero K is filled with the grid's domain size; the
+	// budget fields (EpsInf, and Eps1 where the family takes it) are
+	// overwritten per grid cell.
+	Proto longitudinal.ProtocolSpec
+	// BuildFunc, when non-nil, overrides registry-driven construction —
+	// the escape hatch for injecting pre-built protocols (ablations).
+	BuildFunc func(k int, epsInf, eps1 float64) (longitudinal.Protocol, error)
+}
+
+// Build constructs the spec's protocol for domain size k at (ε∞, ε1). With
+// a declarative template the budget pair is written into the template (ε1
+// only for families that take it, so dBitFlipPM grids ignore α exactly as
+// the paper does) and the family registry builds the protocol.
+func (s Spec) Build(k int, epsInf, eps1 float64) (longitudinal.Protocol, error) {
+	if s.BuildFunc != nil {
+		return s.BuildFunc(k, epsInf, eps1)
+	}
+	ps := s.Proto
+	if ps.K == 0 {
+		ps.K = k
+	} else if k != 0 && ps.K != k {
+		return nil, fmt.Errorf("simulation: spec %s pins k=%d but the grid runs at k=%d", s.Name, ps.K, k)
+	}
+	ps.EpsInf, ps.Eps1 = epsInf, eps1
+	// Budget fields the family does not consume stay zero (dBitFlipPM has
+	// no ε1; a budget-free external family takes neither). Unknown families
+	// keep both so Build surfaces its registry error with the caller's
+	// full intent.
+	if info, ok := longitudinal.LookupFamily(ps.Family); ok {
+		if !info.Uses(longitudinal.FieldEpsInf) {
+			ps.EpsInf = 0
+		}
+		if !info.Uses(longitudinal.FieldEps1) {
+			ps.Eps1 = 0
+		}
+	}
+	return ps.Build()
 }
 
 // StandardSpecs returns the §5.1 evaluated methods for a dataset with
 // domain size k: RAPPOR, L-OSUE, L-GRR, BiLOLOHA, OLOLOHA, 1BitFlipPM and
 // bBitFlipPM. Following the paper, the dBitFlipPM bucket count is b = k
 // for the small-domain datasets (syn, adult) and b = ⌊k/4⌋ for the
-// folktables datasets (db_mt, db_de).
+// folktables datasets (db_mt, db_de); domains too small to quarter
+// (⌊k/4⌋ < 2) fall back to b = k rather than building an invalid
+// bucketizer.
 func StandardSpecs(datasetName string, k int) []Spec {
 	b := k
 	if datasetName == "db_mt" || datasetName == "db_de" {
 		b = k / 4
+		if b < 2 {
+			b = k
+		}
+	}
+	spec := func(name, family string) Spec {
+		return Spec{Name: name, Proto: longitudinal.ProtocolSpec{Family: family, K: k}}
+	}
+	dbit := func(name string, d int) Spec {
+		return Spec{Name: name, Proto: longitudinal.ProtocolSpec{Family: "dBitFlipPM", K: k, B: b, D: d}}
 	}
 	return []Spec{
-		{Name: "RAPPOR", Build: func(k int, e, e1 float64) (longitudinal.Protocol, error) {
-			return longitudinal.NewRAPPOR(k, e, e1)
-		}},
-		{Name: "L-OSUE", Build: func(k int, e, e1 float64) (longitudinal.Protocol, error) {
-			return longitudinal.NewLOSUE(k, e, e1)
-		}},
-		{Name: "L-GRR", Build: func(k int, e, e1 float64) (longitudinal.Protocol, error) {
-			return longitudinal.NewLGRR(k, e, e1)
-		}},
-		{Name: "BiLOLOHA", Build: func(k int, e, e1 float64) (longitudinal.Protocol, error) {
-			return core.NewBinary(k, e, e1)
-		}},
-		{Name: "OLOLOHA", Build: func(k int, e, e1 float64) (longitudinal.Protocol, error) {
-			return core.NewOptimal(k, e, e1)
-		}},
-		{Name: "1BitFlipPM", Build: func(k int, e, e1 float64) (longitudinal.Protocol, error) {
-			return longitudinal.NewDBitFlipPM(k, b, 1, e)
-		}},
-		{Name: "bBitFlipPM", Build: func(k int, e, e1 float64) (longitudinal.Protocol, error) {
-			return longitudinal.NewDBitFlipPM(k, b, b, e)
-		}},
+		spec("RAPPOR", "RAPPOR"),
+		spec("L-OSUE", "L-OSUE"),
+		spec("L-GRR", "L-GRR"),
+		spec("BiLOLOHA", "BiLOLOHA"),
+		spec("OLOLOHA", "OLOLOHA"),
+		dbit("1BitFlipPM", 1),
+		dbit("bBitFlipPM", b),
 	}
 }
 
-// SpecByName returns the standard spec with the given name.
+// StandardSpecNames returns the names of the §5.1 evaluated methods, in
+// presentation order.
+func StandardSpecNames() []string {
+	specs := StandardSpecs("syn", 8)
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// SpecByName returns the standard spec with the given name; an unknown name
+// errors with the full list of available protocol names.
 func SpecByName(datasetName string, k int, name string) (Spec, error) {
 	for _, s := range StandardSpecs(datasetName, k) {
 		if s.Name == name {
 			return s, nil
 		}
 	}
-	return Spec{}, fmt.Errorf("simulation: unknown protocol %q", name)
+	return Spec{}, fmt.Errorf("simulation: unknown protocol %q (available: %s)",
+		name, strings.Join(StandardSpecNames(), ", "))
 }
 
 // Config parameterizes an experiment grid.
@@ -237,12 +291,9 @@ func RunDetection(ds *datasets.Dataset, b int, dChoices []int, cfg Config) ([]Po
 	}
 	var specs []Spec
 	for _, d := range dChoices {
-		d := d
 		specs = append(specs, Spec{
-			Name: fmt.Sprintf("d=%d", d),
-			Build: func(k int, e, e1 float64) (longitudinal.Protocol, error) {
-				return longitudinal.NewDBitFlipPM(k, b, d, e)
-			},
+			Name:  fmt.Sprintf("d=%d", d),
+			Proto: longitudinal.ProtocolSpec{Family: "dBitFlipPM", K: ds.K, B: b, D: d},
 		})
 	}
 	detCfg := cfg

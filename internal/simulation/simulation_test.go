@@ -2,6 +2,7 @@ package simulation
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"github.com/loloha-ldp/loloha/internal/datasets"
@@ -67,6 +68,120 @@ func TestStandardSpecsBucketChoice(t *testing.T) {
 	}
 	if _, err := SpecByName("syn", 10, "nope"); err == nil {
 		t.Error("unknown spec accepted")
+	}
+}
+
+func TestSpecByNameErrorEnumeratesProtocols(t *testing.T) {
+	_, err := SpecByName("syn", 10, "nope")
+	if err == nil {
+		t.Fatal("unknown spec accepted")
+	}
+	for _, want := range StandardSpecNames() {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not list %s", err, want)
+		}
+	}
+}
+
+func TestSpecStandardSpecsAreDeclarative(t *testing.T) {
+	// The standard set carries no constructor closures: every entry is a
+	// registry-resolvable ProtocolSpec template.
+	for _, s := range StandardSpecs("syn", 40) {
+		if s.BuildFunc != nil {
+			t.Errorf("%s: standard spec carries a BuildFunc closure", s.Name)
+		}
+		if _, ok := longitudinal.LookupFamily(s.Proto.Family); !ok {
+			t.Errorf("%s: family %q not registered", s.Name, s.Proto.Family)
+		}
+	}
+}
+
+func TestSpecStandardSpecsBucketGuardTinyDomain(t *testing.T) {
+	// ⌊6/4⌋ = 1 bucket would be an invalid bucketizer; the folktables
+	// quartering falls back to b = k instead.
+	spec, err := SpecByName("db_mt", 6, "bBitFlipPM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := spec.Build(6, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.(*longitudinal.DBitFlipPM).B(); got != 6 {
+		t.Errorf("tiny-domain bucket count = %d, want fallback to k = 6", got)
+	}
+}
+
+func TestSpecPinnedDomainMismatch(t *testing.T) {
+	s := Spec{Name: "pinned", Proto: longitudinal.ProtocolSpec{Family: "L-GRR", K: 10}}
+	if _, err := s.Build(12, 2, 1); err == nil {
+		t.Error("spec pinned to k=10 built at k=12")
+	}
+	if _, err := s.Build(10, 2, 1); err != nil {
+		t.Errorf("matching pinned k rejected: %v", err)
+	}
+}
+
+func TestSpecBudgetFreeExternalFamilyGrid(t *testing.T) {
+	// A family consuming neither eps_inf nor eps1 (k only) must run through
+	// the grid: Build leaves budget fields the family does not declare at
+	// zero instead of tripping strict validation.
+	const fam = "sim-budget-free"
+	longitudinal.RegisterFamily(fam, longitudinal.FamilyInfo{
+		Doc:      "fixed-budget L-GRR wrapper (test-only)",
+		Required: []longitudinal.Field{longitudinal.FieldK},
+		Build: func(s longitudinal.ProtocolSpec) (longitudinal.Protocol, error) {
+			return longitudinal.NewLGRR(s.K, 2, 1)
+		},
+	})
+	defer longitudinal.RegisterFamily(fam, longitudinal.FamilyInfo{})
+
+	ds := tinySyn(t)
+	pts, err := RunMSE(ds, []Spec{{Name: fam, Proto: longitudinal.ProtocolSpec{Family: fam}}}, tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Err != nil {
+			t.Errorf("budget-free family cell error: %v", p.Err)
+		}
+	}
+}
+
+func TestSpecRegistryDrivenExternalFamilyGrid(t *testing.T) {
+	// A family registered once (here: an alias wrapping L-GRR) runs through
+	// the experiment grid exactly like a built-in — bit-identical to the
+	// standard L-GRR spec at the same grid coordinates.
+	const fam = "sim-ext-family"
+	longitudinal.RegisterFamily(fam, longitudinal.FamilyInfo{
+		Doc:      "L-GRR alias (test-only)",
+		Required: []longitudinal.Field{longitudinal.FieldK, longitudinal.FieldEpsInf, longitudinal.FieldEps1},
+		Build: func(s longitudinal.ProtocolSpec) (longitudinal.Protocol, error) {
+			return longitudinal.NewLGRR(s.K, s.EpsInf, s.Eps1)
+		},
+	})
+	defer longitudinal.RegisterFamily(fam, longitudinal.FamilyInfo{})
+
+	ds := tinySyn(t)
+	ext, err := RunMSE(ds, []Spec{{Name: fam, Proto: longitudinal.ProtocolSpec{Family: fam}}}, tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, err := RunMSE(ds, []Spec{mustSpec(t, "L-GRR")}, tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext) != len(std) {
+		t.Fatalf("grid shapes differ: %d vs %d", len(ext), len(std))
+	}
+	for i := range ext {
+		if ext[i].Err != nil {
+			t.Fatalf("external family cell error: %v", ext[i].Err)
+		}
+		if ext[i].Mean != std[i].Mean || ext[i].Std != std[i].Std {
+			t.Errorf("cell %d: external family (%v ± %v) differs from built-in (%v ± %v)",
+				i, ext[i].Mean, ext[i].Std, std[i].Mean, std[i].Std)
+		}
 	}
 }
 
@@ -226,7 +341,7 @@ func TestRunGridReportsBuildErrors(t *testing.T) {
 	ds := tinySyn(t)
 	specs := []Spec{{
 		Name: "broken",
-		Build: func(k int, e, e1 float64) (longitudinal.Protocol, error) {
+		BuildFunc: func(k int, e, e1 float64) (longitudinal.Protocol, error) {
 			return longitudinal.NewRAPPOR(k, e1, e) // swapped budgets: always invalid
 		},
 	}}

@@ -208,7 +208,9 @@ func WithRoundCapacity(n int) StreamOption { return server.WithRoundCapacity(n) 
 func WithCohort(n int, seed uint64) StreamOption { return server.WithCohort(n, seed) }
 
 // RegisterDecoder associates a decoder factory with a protocol name, for
-// external protocols that cannot implement WireProtocol themselves.
+// external protocols that cannot implement WireProtocol themselves. It is
+// a decoder-only shim over the unified family registry: RegisterFamily
+// additionally makes the protocol constructible from a ProtocolSpec.
 func RegisterDecoder(name string, mk func(Protocol) (Decoder, error)) {
 	server.RegisterDecoder(name, mk)
 }
