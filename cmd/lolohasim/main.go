@@ -23,6 +23,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -35,17 +37,19 @@ import (
 )
 
 type options struct {
-	dataset  string
-	runs     int
-	eps      []float64
-	alphas   []float64
-	n        int
-	seed     uint64
-	workers  int
-	shards   int
-	proto    string
-	specFile string
-	csvDir   string
+	dataset    string
+	runs       int
+	eps        []float64
+	alphas     []float64
+	n          int
+	seed       uint64
+	workers    int
+	shards     int
+	proto      string
+	specFile   string
+	csvDir     string
+	cpuProfile string
+	memProfile string
 }
 
 func main() {
@@ -77,8 +81,38 @@ func run(args []string) error {
 	fs.StringVar(&o.proto, "proto", "", "comma-separated subset of the standard protocols for fig3/fig4 (see `lolohasim specs`)")
 	fs.StringVar(&o.specFile, "spec", "", "JSON ProtocolSpec file (object or array) replacing the standard fig3/fig4 protocol set; the grid fills eps_inf/eps1 per cell")
 	fs.StringVar(&o.csvDir, "csv", "", "directory to also write CSV results into")
+	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file (pprof format)")
+	fs.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file on exit (pprof format)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+	// Profiles bracket the whole command so a perf regression anywhere in
+	// the experiment pipeline — client generation, ingestion, estimation —
+	// is diagnosable in place with `go tool pprof`.
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if o.memProfile != "" {
+		defer func() {
+			f, err := os.Create(o.memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lolohasim: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "lolohasim: -memprofile:", err)
+			}
+		}()
 	}
 	// Reject rather than silently coerce: a negative count is a typo, and
 	// the layers below would quietly serialize the collection.
@@ -146,6 +180,7 @@ func usage() {
 commands:  fig1 fig2 fig3 fig4 table1 table2 ablation specs all
 protocols: %s (-proto; families via 'lolohasim specs')
 flags:     -dataset -runs -eps -alphas -n -seed -workers -shards -proto -spec -csv
+           -cpuprofile -memprofile
 `, strings.Join(simulation.StandardSpecNames(), " "))
 }
 

@@ -106,12 +106,15 @@ func main() {
 
 	// LOLOHA client: the adversary sees IRR re-randomizations of ONE
 	// memoized cell of a 2-cell hash — the mode identifies at most the
-	// user's hash cell, which ~half the domain shares.
-	cl := proto.NewClient(1234)
+	// user's hash cell, which ~half the domain shares. The client emits
+	// wire bytes through the allocation-free AppendReport fast path into
+	// one reused buffer — what a real device loop looks like.
+	cl := proto.NewClient(1234).(loloha.AppendReporter)
 	cellCounts := make([]int, 2)
+	var wire []byte
 	for t := 0; t < attackRounds; t++ {
-		rep := cl.Report(target)
-		cellCounts[decodeCell(rep)]++
+		wire = cl.AppendReport(wire[:0], target)
+		cellCounts[int(wire[0])&1]++
 	}
 	fmt.Printf("LOLOHA:       after %d rounds the adversary learns one hash cell (counts %v);\n",
 		attackRounds, cellCounts)
@@ -129,11 +132,6 @@ func naiveGRR(grr *loloha.GRR, v int, rng *rand.Rand) int {
 		x++
 	}
 	return x
-}
-
-func decodeCell(rep loloha.Report) int {
-	buf := rep.AppendBinary(nil)
-	return int(buf[0]) & 1
 }
 
 func zipf(rng *rand.Rand, k int) int {

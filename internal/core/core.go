@@ -224,6 +224,11 @@ func (c *Client) Report(v int) longitudinal.Report {
 
 // ReportValue is Report with a concrete return type.
 func (c *Client) ReportValue(v int) Report {
+	return Report{HashSeed: c.hash.Seed(), X: c.reportCell(v), g: c.proto.g}
+}
+
+// reportCell runs one round and returns the sanitized hash cell.
+func (c *Client) reportCell(v int) int {
 	if v < 0 || v >= c.proto.k {
 		panic(fmt.Sprintf("core: LOLOHA value %d outside [0,%d)", v, c.proto.k))
 	}
@@ -232,11 +237,21 @@ func (c *Client) ReportValue(v int) Report {
 	memo := c.proto.prr.PerturbWord(x,
 		randsrc.Derive(c.seed, uint64(x), 1),
 		randsrc.Derive(c.seed, uint64(x), 2)) // PRR step, memoized by PRF
-	return Report{
-		HashSeed: c.hash.Seed(),
-		X:        c.proto.irr.Perturb(memo, c.rng), // IRR step
-		g:        c.proto.g,
-	}
+	return c.proto.irr.Perturb(memo, c.rng) // IRR step
+}
+
+// AppendReport implements longitudinal.AppendReporter: the sanitized cell
+// straight into wire bytes — no boxed report, zero allocations when dst
+// has capacity.
+func (c *Client) AppendReport(dst []byte, v int) []byte {
+	return freqoracle.AppendGRRReport(dst, c.reportCell(v), c.proto.g)
+}
+
+// WireRegistration implements longitudinal.AppendReporter: the hash seed
+// the server resolves the client's hash function from (Algorithm 1,
+// "Send H").
+func (c *Client) WireRegistration() longitudinal.Registration {
+	return longitudinal.Registration{HashSeed: c.hash.Seed()}
 }
 
 // Charge implements longitudinal.Client: it advances the privacy ledger as

@@ -29,6 +29,39 @@ func TestLolohaReportWireRoundTrip(t *testing.T) {
 	}
 }
 
+func TestLolohaReportMatchesAppendReport(t *testing.T) {
+	// Same-seed clients on the boxed and append paths must emit identical
+	// wire bytes and identical registration metadata, for each acceptance
+	// domain size.
+	for _, k := range []int{16, 64, 1024} {
+		p, err := NewOptimal(k, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clA, clB := p.newClient(21), p.newClient(21)
+		if clA.WireRegistration().HashSeed != clB.WireRegistration().HashSeed {
+			t.Fatal("same-seed clients drew different hash functions")
+		}
+		var buf []byte
+		for i := 0; i < 30; i++ {
+			v := (i * 11) % k
+			boxed := clA.ReportValue(v).AppendBinary(nil)
+			buf = clB.AppendReport(buf[:0], v)
+			if len(buf) != len(boxed) {
+				t.Fatalf("k=%d: payload %d bytes vs %d", k, len(buf), len(boxed))
+			}
+			for j := range buf {
+				if buf[j] != boxed[j] {
+					t.Fatalf("k=%d round %d: Report %x != AppendReport %x", k, i, boxed, buf)
+				}
+			}
+		}
+		if clA.PrivacySpent() != clB.PrivacySpent() {
+			t.Fatal("paths charged the ledger differently")
+		}
+	}
+}
+
 func TestLolohaWireAggregationEquivalence(t *testing.T) {
 	const k, n = 64, 3000
 	p, err := NewBinary(k, 2, 1)

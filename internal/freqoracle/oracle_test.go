@@ -285,13 +285,16 @@ func TestUEBitRates(t *testing.T) {
 }
 
 func TestOUELowerMSEThanSUEEmpirical(t *testing.T) {
-	const k, n, eps = 40, 8000, 1.0
+	// At ε = 2 the theoretical OUE/SUE variance ratio is ~1.27, well clear
+	// of the ~6% MSE sampling noise at these sizes (at ε = 1 the gap is
+	// only ~7% and the comparison would hinge on seed luck).
+	const k, n, eps = 40, 8000, 2.0
 	r := randsrc.NewSeeded(41)
 	values := drawZipf(n, k, r)
 	truth := domain.TrueFrequencies(values, k)
 	run := func(mk func(int, float64) (*UE, error)) float64 {
 		total := 0.0
-		const reps = 8
+		const reps = 16
 		for rep := 0; rep < reps; rep++ {
 			m, _ := mk(k, eps)
 			agg := NewUEAggregator(m)

@@ -1,0 +1,250 @@
+package freqoracle
+
+import (
+	"fmt"
+
+	"github.com/loloha-ldp/loloha/internal/randsrc"
+)
+
+// ReportSampler draws one UE-family sanitization round: every position of a
+// k-bit vector flips to one with a base probability q, except a (typically
+// small) set of "one" positions — the memoized/encoded support — that flip
+// with probability p >= q. One-shot unary encoding is the instance with
+// ones = {v}; the chained-UE IRR step is the instance whose ones are the
+// memoized PRR one-positions; dBitFlipPM is the instance over the d sampled
+// slots with at most one "one".
+//
+// # The canonical randomness contract
+//
+// A round is a deterministic function of (rb, ones), where rb is the
+// caller's per-round 64-bit anchor. Two counter-addressable word streams
+// are derived from it:
+//
+//	base(j) = StreamWord(Derive(rb, 0), j)   j = 0, 1, 2, ...
+//	up(j)   = StreamWord(Derive(rb, 1), j)
+//
+// Base flips are drawn from base() as a geometric gap walk with parameter
+// q (nextGap below): consecutive gaps give the positions where an
+// independent Bernoulli(q) would fire, in O(k·q + 1) draws instead of k.
+// Every "one" position i that did NOT base-fire then draws one word from
+// up(), in ascending position order, and fires iff the word falls under
+// the conditional upgrade threshold r = (p−q)/(1−q) — lifting its total
+// flip probability to q + (1−q)·r = p while every other position stays at
+// q. Because both streams are addressed by draw counter, not by generator
+// state, any implementation that walks positions in ascending order
+// consumes identical words and produces bit-identical output.
+//
+// Two implementations exist: a dense per-position reference loop and a
+// sparse walk that touches only the flip and "one" positions. They are
+// proven bit-identical in tests (TestReportSamplerPathsBitIdentical), so
+// the density threshold below may pick either freely. External protocols
+// that want to interoperate with this wire format reuse ReportSampler (or
+// reimplement this contract word for word).
+type ReportSampler struct {
+	k    int
+	rT   uint64 // conditional upgrade threshold for (p-q)/(1-q)
+	hasQ bool   // q > 0: the base pass exists
+	// Gap sampler state: geoT, when non-nil, holds the 256-entry
+	// fixed-point inverse CDF of Geometric(q) — geoT[g] is the 64-bit
+	// threshold of Pr[G <= g] — and geoLut jump-starts the inversion: for
+	// a raw word w, geoLut[w>>56] is a lower bound on the answer, and a
+	// short linear scan (usually zero or one compare) finishes it. No
+	// floating point and no data-dependent branching tree in the hot
+	// loop. For very sparse q (below geoTableMinQ, where the table would
+	// cover too little mass) geoT is nil and gaps fall back to log
+	// inversion via invQ.
+	geoT   []uint64
+	geoLut []int16
+	invQ   float64
+	// Sparse selects the sparse walk; NewReportSampler auto-selects it
+	// whenever the expected flip density makes skipping pay
+	// (q <= SparseQMax). Exported so tests can force either path.
+	Sparse bool
+}
+
+// geoTableMinQ is the base density below which the gap sampler uses log
+// inversion instead of the threshold table: the 256-entry table covers
+// (1-(1-q)^256) of the mass, so below ~1/128 the escape loop would run
+// too often — and with so few flips per report the log cost is paid
+// rarely anyway.
+const geoTableMinQ = 1.0 / 128
+
+// SparseQMax is the base flip density above which the sampler prefers the
+// dense reference loop: with q this large the gap walk visits a large
+// fraction of positions anyway, and the straightforward loop's
+// per-position cost is predictable. Both paths are bit-identical, so the
+// threshold affects only speed, never output.
+const SparseQMax = 0.25
+
+// NewReportSampler returns a sampler over k positions with base flip
+// probability q and "one"-position flip probability p. Requires k >= 1 and
+// 0 <= q <= p <= 1 with q < 1.
+func NewReportSampler(k int, p, q float64) (ReportSampler, error) {
+	if k < 1 {
+		return ReportSampler{}, fmt.Errorf("freqoracle: sampler needs k >= 1, got %d", k)
+	}
+	if !(q >= 0) || !(q < 1) || !(p >= q) || !(p <= 1) {
+		return ReportSampler{}, fmt.Errorf("freqoracle: sampler needs 0 <= q <= p <= 1, q < 1, got p=%v q=%v", p, q)
+	}
+	s := ReportSampler{k: k, Sparse: q <= SparseQMax}
+	if q > 0 {
+		s.hasQ = true
+		if q >= geoTableMinQ {
+			s.geoT = geoThresholds(q)
+			s.geoLut = geoJumpTable(s.geoT)
+		} else {
+			s.invQ = randsrc.GeometricInv(q)
+		}
+	}
+	s.rT = randsrc.BernoulliThreshold((p - q) / (1 - q))
+	return s, nil
+}
+
+// geoThresholds builds the fixed-point inverse CDF of Geometric(q):
+// entry g holds the 64-bit threshold of Pr[G <= g] = 1 - (1-q)^(g+1), so
+// a raw uniform word w maps to the smallest g with w < geoT[g], and words
+// beyond geoT[255] escape to g >= 256 (handled by the memoryless
+// recursion in nextGap). Quantization is the same 2^-64 granularity every
+// Bernoulli threshold in this repository accepts.
+func geoThresholds(q float64) []uint64 {
+	t := make([]uint64, 256)
+	tail := 1.0 // (1-q)^g
+	for g := range t {
+		tail *= 1 - q
+		t[g] = randsrc.BernoulliThreshold(1 - tail)
+	}
+	return t
+}
+
+// geoJumpTable indexes the inverse CDF by the top byte of a uniform word:
+// entry b is the smallest g whose threshold exceeds the bucket's lowest
+// word (b << 56), i.e. a lower bound on the inversion answer for every w
+// in the bucket. The geometric pmf decays fast, so almost every bucket
+// lies inside one CDF cell and the scan in nextGap finishes immediately.
+func geoJumpTable(t []uint64) []int16 {
+	lut := make([]int16, 256)
+	g := 0
+	for b := range lut {
+		low := uint64(b) << 56
+		for g < len(t) && t[g] <= low {
+			g++
+		}
+		lut[b] = int16(g) // len(t) means "past the table": escape
+	}
+	return lut
+}
+
+// nextGap draws the next base-flip gap from the counter-addressed stream
+// anchored at baseA, advancing *j by the words consumed. Table path: the
+// jump table bounds the answer from below and a short scan finishes the
+// inversion; a word past the table's mass adds 256 and redraws (Geometric
+// is memoryless, so the recursion is exact).
+func (s *ReportSampler) nextGap(baseA uint64, j *int) int {
+	if s.geoT == nil {
+		w := randsrc.StreamWord(baseA, *j)
+		*j++
+		return randsrc.GeometricWord(w, s.invQ)
+	}
+	t := s.geoT
+	total := 0
+	for {
+		w := randsrc.StreamWord(baseA, *j)
+		*j++
+		g := int(s.geoLut[w>>56])
+		for g < 256 && w >= t[g] {
+			g++
+		}
+		if g == 256 {
+			total += 256
+			continue
+		}
+		return total + g
+	}
+}
+
+// K returns the number of positions per round.
+func (s *ReportSampler) K() int { return s.k }
+
+// PayloadBytes returns the wire size of one round: the k bits packed
+// little-endian, as AppendUEReport lays them out.
+func (s *ReportSampler) PayloadBytes() int { return UEPayloadBytes(s.k) }
+
+// AppendReport appends one round's wire payload — PayloadBytes() bytes, the
+// k sanitized bits packed little-endian — to dst and returns the extended
+// buffer. rb anchors the round's randomness; ones lists the positions whose
+// flip probability is p, sorted ascending, distinct, each in [0..k). When
+// dst has capacity the call performs no allocations.
+func (s *ReportSampler) AppendReport(dst []byte, rb uint64, ones []int32) []byte {
+	n := UEPayloadBytes(s.k)
+	dst = append(dst, make([]byte, n)...)
+	buf := dst[len(dst)-n:]
+	if s.Sparse {
+		s.sparseInto(buf, rb, ones)
+	} else {
+		s.denseInto(buf, rb, ones)
+	}
+	return dst
+}
+
+// sparseInto is the production path for sparse q: it walks only the base
+// flips (geometric gaps) and the "one" positions, merged in ascending
+// order, so a round costs O(k·q + len(ones) + 1) word draws.
+func (s *ReportSampler) sparseInto(buf []byte, rb uint64, ones []int32) {
+	baseA := randsrc.Derive(rb, 0)
+	upA := randsrc.Derive(rb, 1)
+	j, uj, oi := 0, 0, 0
+	next := s.k // next base flip; k means "none"
+	if s.hasQ {
+		next = s.nextGap(baseA, &j)
+	}
+	for next < s.k || oi < len(ones) {
+		if oi < len(ones) && int(ones[oi]) < next {
+			// A "one" position the base pass skipped: one upgrade draw.
+			if randsrc.BernoulliWord(randsrc.StreamWord(upA, uj), s.rT) {
+				i := int(ones[oi])
+				buf[i>>3] |= 1 << (uint(i) & 7)
+			}
+			uj++
+			oi++
+			continue
+		}
+		if next >= s.k {
+			break
+		}
+		buf[next>>3] |= 1 << (uint(next) & 7)
+		if oi < len(ones) && int(ones[oi]) == next {
+			oi++ // base-fired "one": already set, no upgrade draw
+		}
+		next += 1 + s.nextGap(baseA, &j)
+	}
+}
+
+// denseInto is the reference implementation: a per-position loop that
+// consumes the canonical streams exactly as the sparse walk does, kept as
+// the obviously-correct form the parity tests pin the sparse path against
+// and as the faster path when flips are dense.
+func (s *ReportSampler) denseInto(buf []byte, rb uint64, ones []int32) {
+	baseA := randsrc.Derive(rb, 0)
+	upA := randsrc.Derive(rb, 1)
+	j, uj, oi := 0, 0, 0
+	next := s.k
+	if s.hasQ {
+		next = s.nextGap(baseA, &j)
+	}
+	for i := 0; i < s.k; i++ {
+		baseFired := i == next
+		if baseFired {
+			buf[i>>3] |= 1 << (uint(i) & 7)
+			next += 1 + s.nextGap(baseA, &j)
+		}
+		if oi < len(ones) && int(ones[oi]) == i {
+			oi++
+			if !baseFired {
+				if randsrc.BernoulliWord(randsrc.StreamWord(upA, uj), s.rT) {
+					buf[i>>3] |= 1 << (uint(i) & 7)
+				}
+				uj++
+			}
+		}
+	}
+}

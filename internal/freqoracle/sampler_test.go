@@ -1,0 +1,223 @@
+package freqoracle
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/loloha-ldp/loloha/internal/randsrc"
+)
+
+// samplerGrid spans the calibrations the protocols actually produce: very
+// sparse q (large ε OUE-style IRR), moderately sparse, and dense SUE-style.
+var samplerGrid = []struct{ p, q float64 }{
+	{0.5, 0.018},
+	{0.5, 0.119},
+	{0.803, 0.197},
+	{0.765, 0.235},
+	{0.731, 0.269},
+	{0.9, 0.45},
+	{1, 0.1},     // deterministic ones
+	{0.25, 0},    // no base pass
+	{0.02, 0.02}, // p == q: ones behave like zeros
+}
+
+// onesPatterns returns representative "one" sets for domain size k: empty,
+// singleton at the boundaries, and a spread multi-one set.
+func onesPatterns(k int) [][]int32 {
+	// The sampler contract wants ones sorted ascending and distinct, so
+	// dedupe the candidates (they collide for tiny k).
+	dedupe := func(in []int32) []int32 {
+		var out []int32
+		for _, v := range in {
+			if len(out) == 0 || out[len(out)-1] != v {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	return [][]int32{
+		nil,
+		{0},
+		{int32(k) - 1},
+		{int32(k) / 2},
+		dedupe([]int32{0, int32(k) / 3, int32(k) / 2, int32(k) - 1}),
+	}
+}
+
+// TestReportSamplerPathsBitIdentical is the parity gate of the sparse
+// refactor: the sparse walk and the dense reference loop must produce
+// byte-identical payloads for every calibration, domain size, "one"
+// pattern and round anchor.
+func TestReportSamplerPathsBitIdentical(t *testing.T) {
+	for _, k := range []int{1, 7, 16, 64, 1024} {
+		for _, pq := range samplerGrid {
+			s, err := NewReportSampler(k, pq.p, pq.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ones := range onesPatterns(k) {
+				for rb := uint64(0); rb < 200; rb++ {
+					sparse, dense := s, s
+					sparse.Sparse, dense.Sparse = true, false
+					got := sparse.AppendReport(nil, rb*0x9E3779B9+1, ones)
+					want := dense.AppendReport(nil, rb*0x9E3779B9+1, ones)
+					if !bytes.Equal(got, want) {
+						t.Fatalf("k=%d p=%v q=%v ones=%v rb=%d: sparse %x != dense %x",
+							k, pq.p, pq.q, ones, rb, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReportSamplerRejectsBadParams(t *testing.T) {
+	for _, bad := range []struct {
+		k    int
+		p, q float64
+	}{
+		{0, 0.5, 0.1},
+		{8, 0.1, 0.5},  // p < q
+		{8, 1.1, 0.5},  // p > 1
+		{8, 0.5, -0.1}, // q < 0
+		{8, 1, 1},      // q == 1
+		{8, math.NaN(), 0.1},
+	} {
+		if _, err := NewReportSampler(bad.k, bad.p, bad.q); err == nil {
+			t.Errorf("NewReportSampler(%d, %v, %v) accepted", bad.k, bad.p, bad.q)
+		}
+	}
+}
+
+// TestReportSamplerMarginals checks the per-position flip probabilities on
+// both paths: base positions fire at rate q, "one" positions at rate p.
+func TestReportSamplerMarginals(t *testing.T) {
+	const k, rounds = 64, 60000
+	for _, pq := range []struct{ p, q float64 }{{0.5, 0.119}, {0.803, 0.197}} {
+		for _, sparse := range []bool{false, true} {
+			s, err := NewReportSampler(k, pq.p, pq.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Sparse = sparse
+			ones := []int32{5, 40}
+			counts := make([]int, k)
+			buf := make([]byte, 0, s.PayloadBytes())
+			r := randsrc.NewSeeded(7)
+			for round := 0; round < rounds; round++ {
+				buf = s.AppendReport(buf[:0], r.Uint64(), ones)
+				for i := 0; i < k; i++ {
+					if buf[i>>3]>>(uint(i)&7)&1 == 1 {
+						counts[i]++
+					}
+				}
+			}
+			for i := 0; i < k; i++ {
+				want := pq.q
+				if i == 5 || i == 40 {
+					want = pq.p
+				}
+				got := float64(counts[i]) / rounds
+				// 6-sigma binomial tolerance at the larger rate.
+				if math.Abs(got-want) > 0.013 {
+					t.Errorf("sparse=%v p=%v q=%v: position %d fires at %v, want %v",
+						sparse, pq.p, pq.q, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestReportSamplerFlipCountsBinomial is the χ² goodness-of-fit gate: with
+// no "one" positions, the number of skip-sampled flips per round must
+// follow Binomial(k, q). Counts are pooled so every cell has expected
+// frequency >= 5, the usual χ² validity rule.
+func TestReportSamplerFlipCountsBinomial(t *testing.T) {
+	const k, rounds = 64, 40000
+	const q = 0.1
+	s, err := NewReportSampler(k, q, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Sparse = true
+
+	observed := make([]int, k+1)
+	buf := make([]byte, 0, s.PayloadBytes())
+	r := randsrc.NewSeeded(13)
+	for round := 0; round < rounds; round++ {
+		buf = s.AppendReport(buf[:0], r.Uint64(), nil)
+		flips := 0
+		for _, b := range buf {
+			for w := b; w != 0; w &= w - 1 {
+				flips++
+			}
+		}
+		observed[flips]++
+	}
+
+	// Binomial(k, q) pmf via the recurrence pmf(i+1)/pmf(i).
+	pmf := make([]float64, k+1)
+	pmf[0] = math.Pow(1-q, k)
+	for i := 0; i < k; i++ {
+		pmf[i+1] = pmf[i] * float64(k-i) / float64(i+1) * q / (1 - q)
+	}
+
+	// Pool consecutive outcomes until each cell expects >= 5 rounds; fold
+	// the remainder tail into the final cell.
+	var cellObs, cellExp []float64
+	obs, exp := 0.0, 0.0
+	for i := 0; i <= k; i++ {
+		obs += float64(observed[i])
+		exp += pmf[i] * rounds
+		if exp >= 5 {
+			cellObs, cellExp = append(cellObs, obs), append(cellExp, exp)
+			obs, exp = 0, 0
+		}
+	}
+	if len(cellExp) == 0 {
+		t.Fatal("no χ² cells; rounds too small")
+	}
+	cellObs[len(cellObs)-1] += obs
+	cellExp[len(cellExp)-1] += exp
+	var chi2 float64
+	for i := range cellObs {
+		d := cellObs[i] - cellExp[i]
+		chi2 += d * d / cellExp[i]
+	}
+	cells := len(cellObs)
+	// Critical value of χ² at significance 1e-4 grows roughly like
+	// df + 4*sqrt(2*df) + 15; with the fixed seed above this is a
+	// deterministic regression test, not a flaky statistical one.
+	df := float64(cells - 1)
+	crit := df + 4*math.Sqrt(2*df) + 15
+	if chi2 > crit {
+		t.Errorf("skip-sampled flip counts: χ² = %.1f over %d cells (crit ~%.1f); not Binomial(%d, %v)?",
+			chi2, cells, crit, k, q)
+	}
+}
+
+// TestUEPrivatizeMatchesSamplerContract: the one-shot UE mechanism must be
+// exactly one sampler round with ones = {v} anchored at the next word of
+// the caller's stream.
+func TestUEPrivatizeMatchesSamplerContract(t *testing.T) {
+	const k, eps = 48, 2.0
+	m, err := NewOUE(k, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewReportSampler(k, m.Params().P, m.Params().Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed < 50; seed++ {
+		r1, r2 := randsrc.NewSeeded(seed), randsrc.NewSeeded(seed)
+		v := int(seed) % k
+		got := AppendUEReport(nil, m.Privatize(v, r1))
+		ones := [1]int32{int32(v)}
+		want := s.AppendReport(nil, r2.Uint64(), ones[:])
+		if !bytes.Equal(got, want) {
+			t.Fatalf("seed %d: Privatize(%d) = %x, sampler contract %x", seed, v, got, want)
+		}
+	}
+}

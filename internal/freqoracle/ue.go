@@ -15,8 +15,7 @@ type UE struct {
 	k       int
 	params  Params
 	eps     float64
-	pThresh uint64
-	qThresh uint64
+	sampler ReportSampler
 }
 
 // NewUE returns a UE mechanism with explicit parameters; use NewSUE/NewOUE
@@ -28,12 +27,15 @@ func NewUE(k int, params Params, eps float64) (*UE, error) {
 	if !params.Valid() {
 		return nil, fmt.Errorf("freqoracle: invalid UE params %+v", params)
 	}
+	sampler, err := NewReportSampler(k, params.P, params.Q)
+	if err != nil {
+		return nil, err
+	}
 	return &UE{
 		k:       k,
 		params:  params,
 		eps:     eps,
-		pThresh: randsrc.BernoulliThreshold(params.P),
-		qThresh: randsrc.BernoulliThreshold(params.Q),
+		sampler: sampler,
 	}, nil
 }
 
@@ -64,20 +66,19 @@ func (m *UE) Eps() float64 { return m.eps }
 // Params returns the calibrated (p, q).
 func (m *UE) Params() Params { return m.params }
 
-// Privatize one-hot encodes v and randomizes every bit.
+// Privatize one-hot encodes v and randomizes every bit: one round of the
+// canonical ReportSampler contract with ones = {v}, skip-sampled when q is
+// sparse (OUE at moderate ε). It draws a single anchor word from r per
+// call, so report cost no longer scales the caller's stream by k.
 func (m *UE) Privatize(v int, r *randsrc.Rand) *bitset.Bitset {
 	if v < 0 || v >= m.k {
 		panic(fmt.Sprintf("freqoracle: UE input %d outside [0,%d)", v, m.k))
 	}
-	out := bitset.New(m.k)
-	for i := 0; i < m.k; i++ {
-		t := m.qThresh
-		if i == v {
-			t = m.pThresh
-		}
-		if randsrc.BernoulliWord(r.Uint64(), t) {
-			out.Set(i, true)
-		}
+	ones := [1]int32{int32(v)}
+	payload := m.sampler.AppendReport(make([]byte, 0, UEPayloadBytes(m.k)), r.Uint64(), ones[:])
+	out, _, err := DecodeUEReport(payload, m.k)
+	if err != nil {
+		panic(err) // impossible: the payload is exactly one well-formed report
 	}
 	return out
 }

@@ -106,6 +106,10 @@ type ChainUE struct {
 	k            int
 	params       ChainParams
 	epsInf, eps1 float64
+	// sampler draws the IRR layer: every bit flips with q2, memoized
+	// PRR-one bits with p2 — skip-sampled when q2 is sparse (see
+	// freqoracle.ReportSampler for the canonical randomness contract).
+	sampler freqoracle.ReportSampler
 }
 
 // NewChainUE builds a chained-UE protocol from explicit parameters;
@@ -117,7 +121,11 @@ func NewChainUE(name string, k int, params ChainParams, epsInf, eps1 float64) (*
 	if !(params.P1 > params.Q1) || !(params.P2 > params.Q2) {
 		return nil, fmt.Errorf("longitudinal: %s mis-calibrated: %+v", name, params)
 	}
-	return &ChainUE{name: name, k: k, params: params, epsInf: epsInf, eps1: eps1}, nil
+	sampler, err := freqoracle.NewReportSampler(k, params.P2, params.Q2)
+	if err != nil {
+		return nil, fmt.Errorf("longitudinal: %s mis-calibrated: %w", name, err)
+	}
+	return &ChainUE{name: name, k: k, params: params, epsInf: epsInf, eps1: eps1, sampler: sampler}, nil
 }
 
 // NewRAPPOR returns the utility-oriented RAPPOR protocol (L-SUE).
@@ -194,13 +202,18 @@ func (c *ChainUE) NewClient(seed uint64) Client {
 		seed:   seed,
 		rng:    randsrc.NewSeeded(randsrc.Derive(seed, 0xC11E57)),
 		bases:  make(map[int]uint64),
+		ones:   make(map[int][]int32),
 		p1T:    randsrc.BernoulliThreshold(c.params.P1),
 		q1T:    randsrc.BernoulliThreshold(c.params.Q1),
-		p2T:    randsrc.BernoulliThreshold(c.params.P2),
-		q2T:    randsrc.BernoulliThreshold(c.params.Q2),
 		ledger: privacy.NewLedger(c.epsInf, c.k),
 	}
 }
+
+// onesCacheCap bounds the per-client cache of memoized PRR one-lists.
+// Evicting is always safe: a one-list is a pure PRF of (seed, value) and
+// recomputes bit-identically, so the cap trades recompute time for memory
+// on clients that roam across many distinct values.
+const onesCacheCap = 256
 
 type chainUEClient struct {
 	proto *ChainUE
@@ -208,9 +221,14 @@ type chainUEClient struct {
 	rng   *randsrc.Rand
 	// bases caches the PRF stream anchor of each memoized value, so the
 	// per-bit cost of the PRR step is a single mix round.
-	bases              map[int]uint64
-	p1T, q1T, p2T, q2T uint64
-	ledger             *privacy.Ledger
+	bases map[int]uint64
+	// ones caches, per memoized value, the sorted positions whose PRR bit
+	// is one — the sparse form of the memoized encoding, the only thing
+	// the IRR sampler needs.
+	ones     map[int][]int32
+	p1T, q1T uint64
+	wire     []byte // Report() scratch: one payload, reused across rounds
+	ledger   *privacy.Ledger
 }
 
 // baseOf returns the PRF stream anchor for the memoized encoding of w.
@@ -233,28 +251,51 @@ func (cl *chainUEClient) prrBit(w, i int) bool {
 	return randsrc.BernoulliWord(randsrc.StreamWord(cl.baseOf(w), i), t)
 }
 
-// Report implements Client: one-hot encode, PRR (memoized), then IRR.
-func (cl *chainUEClient) Report(v int) Report {
-	cl.Charge(v)
+// onesOf returns the memoized PRR one-positions of value w, cached after
+// the first materialization (one O(k) PRF scan per distinct value, against
+// one per *round* on the old dense path).
+func (cl *chainUEClient) onesOf(w int) []int32 {
+	if o, ok := cl.ones[w]; ok {
+		return o
+	}
 	k := cl.proto.k
-	out := bitset.New(k)
-	words := out.Words()
-	base := cl.baseOf(v)
+	o := make([]int32, 0, 8+k/8)
 	for i := 0; i < k; i++ {
-		t1 := cl.q1T
-		if i == v {
-			t1 = cl.p1T
-		}
-		t := cl.q2T
-		if randsrc.BernoulliWord(randsrc.StreamWord(base, i), t1) {
-			t = cl.p2T
-		}
-		if randsrc.BernoulliWord(cl.rng.Uint64(), t) {
-			words[i>>6] |= 1 << (uint(i) & 63)
+		if cl.prrBit(w, i) {
+			o = append(o, int32(i))
 		}
 	}
-	return UEReport{Bits: out}
+	if len(cl.ones) >= onesCacheCap {
+		clear(cl.ones)
+	}
+	cl.ones[w] = o
+	return o
 }
+
+// Report implements Client: one-hot encode, PRR (memoized), then IRR. It
+// is the boxed compatibility path — AppendReport emits the same bytes with
+// no Bitset or Report value.
+func (cl *chainUEClient) Report(v int) Report {
+	cl.wire = cl.AppendReport(cl.wire[:0], v)
+	rep, _, err := DecodeUEReport(cl.wire, cl.proto.k)
+	if err != nil {
+		panic(err) // impossible: the scratch holds exactly one payload
+	}
+	return rep
+}
+
+// AppendReport implements AppendReporter: one sampler round anchored at
+// the next word of the client's stream, with the memoized one-list as the
+// upgraded positions. Steady state (warm caches, capacity in dst) performs
+// zero allocations.
+func (cl *chainUEClient) AppendReport(dst []byte, v int) []byte {
+	cl.Charge(v)
+	return cl.proto.sampler.AppendReport(dst, cl.rng.Uint64(), cl.onesOf(v))
+}
+
+// WireRegistration implements AppendReporter: chained UE needs no
+// enrollment metadata.
+func (cl *chainUEClient) WireRegistration() Registration { return Registration{} }
 
 // Charge implements Client.
 func (cl *chainUEClient) Charge(v int) {

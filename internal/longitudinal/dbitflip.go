@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/loloha-ldp/loloha/internal/domain"
+	"github.com/loloha-ldp/loloha/internal/freqoracle"
 	"github.com/loloha-ldp/loloha/internal/privacy"
 	"github.com/loloha-ldp/loloha/internal/randsrc"
 )
@@ -19,7 +20,12 @@ type DBitFlipPM struct {
 	epsInf  float64
 	p, q    float64
 	z       domain.Bucketizer
-	pT, qT  uint64
+	// sampler draws the memoized d-bit response for one input bucket:
+	// each sampled slot flips with q, the slot holding the input bucket
+	// (if any) with p — skip-sampled when q is sparse. Anchored at the
+	// bucket's PRF base, the draw is a pure function of (seed, bucket),
+	// which is exactly the memoization contract.
+	sampler freqoracle.ReportSampler
 }
 
 // NewDBitFlipPM returns a dBitFlipPM protocol over domain size k with b
@@ -46,13 +52,16 @@ func NewDBitFlipPM(k, b, d int, epsInf float64) (*DBitFlipPM, error) {
 	}
 	e := math.Exp(epsInf / 2)
 	p := e / (e + 1)
+	sampler, err := freqoracle.NewReportSampler(d, p, 1-p)
+	if err != nil {
+		return nil, fmt.Errorf("longitudinal: dBitFlipPM mis-calibrated: %w", err)
+	}
 	return &DBitFlipPM{
 		k: k, b: b, d: d,
 		epsInf: epsInf,
 		p:      p, q: 1 - p,
-		z:  z,
-		pT: randsrc.BernoulliThreshold(p),
-		qT: randsrc.BernoulliThreshold(1 - p),
+		z:       z,
+		sampler: sampler,
 	}, nil
 }
 
@@ -110,7 +119,7 @@ func (m *DBitFlipPM) NewClient(seed uint64) Client {
 		seed:    seed,
 		sampled: sampled,
 		state:   make(map[int]int, m.d+1),
-		bases:   make(map[int]uint64, m.d+1),
+		memo:    make(map[int][]byte, m.d+1),
 		ledger:  privacy.NewLedger(m.epsInf, minInt(m.d+1, m.b)),
 	}
 }
@@ -120,43 +129,78 @@ type dBitClient struct {
 	seed    uint64
 	sampled []int
 	state   map[int]int
-	bases   map[int]uint64
-	ledger  *privacy.Ledger
+	// memo caches the packed memoized d-bit response per input bucket —
+	// dBitFlipPM has no IRR, so after the first materialization a report
+	// is a byte copy.
+	memo   map[int][]byte
+	ledger *privacy.Ledger
 }
 
 // baseOf returns the PRF stream anchor of the memoized response for an
 // input bucket.
 func (cl *dBitClient) baseOf(inputBucket int) uint64 {
-	if b, ok := cl.bases[inputBucket]; ok {
-		return b
+	return randsrc.Derive(cl.seed, uint64(inputBucket))
+}
+
+// packedOf returns the memoized response for an input bucket, wire-packed
+// (bit l of the payload is sampled slot l), drawing it on first use: one
+// sampler round anchored at the bucket's PRF base, with the slot holding
+// the input bucket (at most one — sampled buckets are distinct) upgraded
+// from q to p.
+func (cl *dBitClient) packedOf(inputBucket int) []byte {
+	if m, ok := cl.memo[inputBucket]; ok {
+		return m
 	}
-	b := randsrc.Derive(cl.seed, uint64(inputBucket))
-	cl.bases[inputBucket] = b
-	return b
+	var ones []int32
+	var hit [1]int32
+	for l, j := range cl.sampled {
+		if j == inputBucket {
+			hit[0] = int32(l)
+			ones = hit[:]
+			break
+		}
+	}
+	m := cl.proto.sampler.AppendReport(make([]byte, 0, (cl.proto.d+7)/8), cl.baseOf(inputBucket), ones)
+	cl.memo[inputBucket] = m
+	return m
 }
 
 // memoBit returns the memoized randomized bit for (input bucket, sampled
 // slot l): Bernoulli(p) when the input falls in the sampled bucket,
-// Bernoulli(q) otherwise, fixed forever by the PRF.
+// Bernoulli(q) otherwise, fixed forever by the PRF behind packedOf.
 func (cl *dBitClient) memoBit(inputBucket, l int) bool {
-	t := cl.proto.qT
-	if inputBucket == cl.sampled[l] {
-		t = cl.proto.pT
-	}
-	return randsrc.BernoulliWord(randsrc.StreamWord(cl.baseOf(inputBucket), l), t)
+	m := cl.packedOf(inputBucket)
+	return m[l>>3]>>(uint(l)&7)&1 == 1
 }
 
 // Report implements Client. The privacy ledger charges per distinct
 // *memoized state*: the input bucket collapses to "which sampled bucket it
-// hits, if any", so at most min(d+1, b) states exist (Table 1).
+// hits, if any", so at most min(d+1, b) states exist (Table 1). Bits is a
+// fresh slice — callers (the Table 2 adversary) hold reports across
+// rounds — so Report allocates; AppendReport is the zero-allocation path.
 func (cl *dBitClient) Report(v int) Report {
 	cl.Charge(v)
-	bkt := cl.proto.z.Bucket(v)
+	m := cl.packedOf(cl.proto.z.Bucket(v))
 	bits := make([]bool, cl.proto.d)
 	for l := range bits {
-		bits[l] = cl.memoBit(bkt, l)
+		bits[l] = m[l>>3]>>(uint(l)&7)&1 == 1
 	}
 	return DBitReport{Sampled: cl.sampled, Bits: bits}
+}
+
+// AppendReport implements AppendReporter: a memoized report is a straight
+// copy of the cached packed response — zero allocations once the bucket
+// has been seen (at most b materializations ever; unsampled buckets share
+// a response *distribution* but are cached per bucket, since each draws
+// from its own PRF anchor).
+func (cl *dBitClient) AppendReport(dst []byte, v int) []byte {
+	cl.Charge(v)
+	return append(dst, cl.packedOf(cl.proto.z.Bucket(v))...)
+}
+
+// WireRegistration implements AppendReporter: the fixed sampled buckets.
+func (cl *dBitClient) WireRegistration() Registration {
+	return Registration{Sampled: cl.sampled}
 }
 
 // Charge implements Client.

@@ -98,15 +98,30 @@ type lgrrClient struct {
 	ledger *privacy.Ledger
 }
 
-// Report implements Client: memoized PRR (a PRF of the value) then a fresh
-// IRR round.
-func (cl *lgrrClient) Report(v int) Report {
+// reportValue runs one round: memoized PRR (a PRF of the value) then a
+// fresh IRR round, charging the ledger.
+func (cl *lgrrClient) reportValue(v int) int {
 	cl.Charge(v)
 	memo := cl.proto.prr.PerturbWord(v,
 		randsrc.Derive(cl.seed, uint64(v), 1),
 		randsrc.Derive(cl.seed, uint64(v), 2))
-	return GRRValueReport{X: cl.proto.irr.Perturb(memo, cl.rng), K: cl.proto.k}
+	return cl.proto.irr.Perturb(memo, cl.rng)
 }
+
+// Report implements Client.
+func (cl *lgrrClient) Report(v int) Report {
+	return GRRValueReport{X: cl.reportValue(v), K: cl.proto.k}
+}
+
+// AppendReport implements AppendReporter: the sanitized value straight
+// into wire bytes, no boxed report.
+func (cl *lgrrClient) AppendReport(dst []byte, v int) []byte {
+	return freqoracle.AppendGRRReport(dst, cl.reportValue(v), cl.proto.k)
+}
+
+// WireRegistration implements AppendReporter: L-GRR needs no enrollment
+// metadata.
+func (cl *lgrrClient) WireRegistration() Registration { return Registration{} }
 
 // Charge implements Client.
 func (cl *lgrrClient) Charge(v int) {

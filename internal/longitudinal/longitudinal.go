@@ -46,6 +46,27 @@ type Client interface {
 	PrivacySpent() float64
 }
 
+// AppendReporter is a Client with an allocation-free emission path: it can
+// write a round's steady-state wire payload straight into a caller buffer,
+// skipping the boxed Report and any intermediate encoding (the bitset of a
+// UE report). Every client in this repository implements it; collection
+// layers type-assert for it and fall back to Report for clients that
+// don't. AppendReport(dst, v) must emit exactly the bytes
+// Report(v).AppendBinary(nil) would for the same client state, so the two
+// paths are interchangeable round for round.
+type AppendReporter interface {
+	Client
+	// AppendReport sanitizes v for the current round, advances the
+	// client's clock exactly as Report(v) would, and appends the
+	// steady-state wire payload to dst, returning the extended buffer.
+	// With capacity in dst the steady state performs no allocations.
+	AppendReport(dst []byte, v int) []byte
+	// WireRegistration returns the client's one-time enrollment metadata
+	// — what a server needs besides the payload bytes. The returned value
+	// may alias client state and must not be mutated.
+	WireRegistration() Registration
+}
+
 // Aggregator is the server-side state: it tallies the reports of one
 // collection round and produces the round's frequency estimates.
 type Aggregator interface {

@@ -24,6 +24,13 @@ type ShardedCollector struct {
 	forks  []Aggregator // per-shard forks (empty when serial)
 	bounds []int        // len(forks)+1 offsets partitioning [0..n)
 	n      int
+	// tallier, when set via EnableTallyDirect, routes collection through
+	// the protocol's wire fast path: clients that implement AppendReporter
+	// emit payload bytes into bufs (one reusable buffer per shard) and the
+	// tallier bumps shard tallies in place — no bitset, no boxed Report,
+	// zero steady-state allocations per report.
+	tallier WireTallier
+	bufs    [][]byte
 }
 
 // NewShardedCollector partitions n users into at most shards contiguous
@@ -48,6 +55,25 @@ func NewShardedCollector(agg Aggregator, n, shards int) *ShardedCollector {
 	}
 	c.bounds[shards] = n
 	return c
+}
+
+// EnableTallyDirect routes collection rounds through the protocol's wire
+// fast path: each user's report is emitted with AppendReport into a
+// per-shard reusable buffer and tallied in place by t, composing the
+// allocation-free generate path with tally-direct ingestion. Clients that
+// do not implement AppendReporter fall back to Report/Add per user.
+// Estimates are bit-identical on either path — AppendReport emits exactly
+// the bytes Report would serialize, and the tallier bumps the same integer
+// tallies Add would.
+func (c *ShardedCollector) EnableTallyDirect(t WireTallier) {
+	c.tallier = t
+	if c.bufs == nil {
+		n := len(c.forks)
+		if n == 0 {
+			n = 1
+		}
+		c.bufs = make([][]byte, n)
+	}
 }
 
 // Shards returns the effective parallelism (1 on the serial path).
@@ -83,9 +109,7 @@ func (c *ShardedCollector) Tally(clients []Client, values []int) error {
 			c.n, len(clients), len(values))
 	}
 	if len(c.forks) == 0 {
-		for u, v := range values {
-			c.agg.Add(u, clients[u].Report(v))
-		}
+		c.tallyRange(c.agg, 0, clients, values, 0, c.n)
 		return nil
 	}
 	// Client/aggregator panics (caller bugs like out-of-range values) are
@@ -98,9 +122,7 @@ func (c *ShardedCollector) Tally(clients []Client, values []int) error {
 		go func(i int, fork Aggregator, lo, hi int) {
 			defer wg.Done()
 			defer func() { panics[i] = recover() }()
-			for u := lo; u < hi; u++ {
-				fork.Add(u, clients[u].Report(values[u]))
-			}
+			c.tallyRange(fork, i, clients, values, lo, hi)
 		}(i, fork, c.bounds[i], c.bounds[i+1])
 	}
 	wg.Wait()
@@ -114,6 +136,35 @@ func (c *ShardedCollector) Tally(clients []Client, values []int) error {
 		ma.Merge(fork)
 	}
 	return nil
+}
+
+// tallyRange tallies users [lo..hi) into agg. shard indexes the reusable
+// wire buffer on the tally-direct path; each shard (and the serial path's
+// index 0) is owned by exactly one goroutine per round, so buffers are
+// contention-free.
+func (c *ShardedCollector) tallyRange(agg Aggregator, shard int, clients []Client, values []int, lo, hi int) {
+	if c.tallier == nil {
+		for u := lo; u < hi; u++ {
+			agg.Add(u, clients[u].Report(values[u]))
+		}
+		return
+	}
+	buf := c.bufs[shard]
+	for u := lo; u < hi; u++ {
+		ar, ok := clients[u].(AppendReporter)
+		if !ok {
+			agg.Add(u, clients[u].Report(values[u]))
+			continue
+		}
+		buf = ar.AppendReport(buf[:0], values[u])
+		if err := c.tallier.TallyWire(agg, u, buf, ar.WireRegistration()); err != nil {
+			// A payload the protocol's own client just emitted cannot be
+			// malformed; a rejection here is a protocol implementation bug,
+			// surfaced like any other caller bug on this path.
+			panic(fmt.Sprintf("longitudinal: tally-direct collection rejected its own report: %v", err))
+		}
+	}
+	c.bufs[shard] = buf
 }
 
 // MergeCounts folds src's tallies into dst and zeroes src: the shared

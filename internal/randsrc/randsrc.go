@@ -230,9 +230,16 @@ func (r *Rand) SampleWithoutReplacement(n, d int) []int {
 	if d == 0 {
 		return nil
 	}
+	out := make([]int, d)
+	if d == n {
+		// Full sample: a plain Fisher–Yates permutation, no tracking state
+		// (the bBitFlipPM enrollment case, where the sparse map below would
+		// hold every index anyway).
+		r.Perm(out)
+		return out
+	}
 	// Partial Fisher–Yates via a sparse map: O(d) time and space.
 	swapped := make(map[int]int, d)
-	out := make([]int, d)
 	for i := 0; i < d; i++ {
 		j := i + r.Intn(n-i)
 		vj, ok := swapped[j]
@@ -251,7 +258,10 @@ func (r *Rand) SampleWithoutReplacement(n, d int) []int {
 
 // Geometric returns a sample from the geometric distribution on {0,1,2,...}
 // with success probability p: the number of failures before the first
-// success. Used for skip-sampling sparse bit flips. Panics if p <= 0 or p > 1.
+// success. Used for skip-sampling sparse bit flips: the gap between
+// consecutive Bernoulli(p) successes over a long bit vector is Geometric(p),
+// so a sparse flip set costs O(flips) draws instead of O(bits).
+// Panics if p <= 0 or p > 1.
 func (r *Rand) Geometric(p float64) int {
 	if p <= 0 || p > 1 {
 		panic("randsrc: Geometric needs p in (0,1]")
@@ -259,10 +269,48 @@ func (r *Rand) Geometric(p float64) int {
 	if p == 1 {
 		return 0
 	}
-	// Inversion: floor(log(U) / log(1-p)), guarding U=0.
+	// Inversion: floor(log(U) / log1p(-p)), guarding U=0. Log1p matters:
+	// math.Log(1-p) suffers catastrophic cancellation for small p — exactly
+	// the sparse regime skip-sampling exists for — collapsing to 0 below
+	// p ~ 2^-53 (division by zero) and losing most significant digits well
+	// before that.
 	u := r.Float64()
 	for u == 0 {
 		u = r.Float64()
 	}
-	return int(math.Log(u) / math.Log(1-p))
+	return geometricFromLog(math.Log(u), 1/math.Log1p(-p))
+}
+
+// GeometricInv precomputes the reciprocal inversion constant 1/log1p(-p)
+// for GeometricWord. Callers that draw many gaps at a fixed p (the
+// skip-sampling hot loop) compute it once per protocol.
+func GeometricInv(p float64) float64 { return 1 / math.Log1p(-p) }
+
+// GeometricWord maps one uniform 64-bit word onto a Geometric(p) sample
+// (failures before the first success) by inversion, with invLog1p from
+// GeometricInv(p). Unlike Rand.Geometric it is stateless and
+// counter-addressable: feeding StreamWord(base, j) for j = 0, 1, 2, ...
+// yields a deterministic gap sequence that any two implementations of the
+// same walk reproduce word for word — the property the sparse and dense
+// report-generation paths rely on for bit-identical output.
+func GeometricWord(w uint64, invLog1p float64) int {
+	u := float64(w>>11) * 0x1p-53
+	if u == 0 {
+		return maxGeometric
+	}
+	return geometricFromLog(math.Log(u), invLog1p)
+}
+
+// maxGeometric caps geometric samples so that downstream position
+// arithmetic (pos += 1 + gap) cannot overflow, on 32-bit ints included.
+// Any cap beyond the longest bit vector is distributionally irrelevant: a
+// gap this size means "no flip in this report".
+const maxGeometric = 1 << 30
+
+func geometricFromLog(logU, invLog1p float64) int {
+	g := logU * invLog1p // both factors <= 0, so g >= 0
+	if !(g < maxGeometric) {
+		return maxGeometric
+	}
+	return int(g)
 }

@@ -365,6 +365,81 @@ func TestGeometricPanics(t *testing.T) {
 	NewSeeded(1).Geometric(0)
 }
 
+func TestGeometricSmallP(t *testing.T) {
+	// The small-p regime is where skip-sampling lives and where the old
+	// math.Log(1-p) form lost precision. The sample mean must track
+	// (1-p)/p ~ 1/p: with n draws the standard error of the mean is
+	// ~ (1/p)/sqrt(n), so a 5% tolerance needs n >> 400.
+	r := NewSeeded(59)
+	for _, p := range []float64{1e-3, 1e-5, 1e-7} {
+		const draws = 20000
+		sum := 0.0
+		for i := 0; i < draws; i++ {
+			g := r.Geometric(p)
+			if g < 0 {
+				t.Fatalf("Geometric(%v) returned negative %d", p, g)
+			}
+			sum += float64(g)
+		}
+		got := sum / draws
+		want := (1 - p) / p
+		if math.Abs(got-want) > 0.05*want {
+			t.Errorf("Geometric(%v) mean = %v, want %v (log1p precision?)", p, got, want)
+		}
+	}
+}
+
+func TestGeometricTinyPStaysFinite(t *testing.T) {
+	// Below p ~ 2^-53 the old log(1-p) collapsed to log(1) = 0 and the
+	// inversion divided by zero; with log1p the sample is huge but finite,
+	// non-negative and capped so position arithmetic cannot overflow.
+	r := NewSeeded(61)
+	for _, p := range []float64{1e-16, 1e-20, 1e-300} {
+		for i := 0; i < 100; i++ {
+			g := r.Geometric(p)
+			if g < 0 || g > maxGeometric {
+				t.Fatalf("Geometric(%v) = %d outside [0, %d]", p, g, maxGeometric)
+			}
+		}
+	}
+}
+
+func TestGeometricWordDeterministicAndCapped(t *testing.T) {
+	inv := GeometricInv(0.01)
+	if GeometricWord(12345, inv) != GeometricWord(12345, inv) {
+		t.Fatal("GeometricWord is not deterministic")
+	}
+	// A zero word maps to u = 0: the cap, not a panic or negative value.
+	if got := GeometricWord(0, inv); got != maxGeometric {
+		t.Errorf("GeometricWord(0) = %d, want cap %d", got, maxGeometric)
+	}
+	// p = 1 must always yield gap 0 (every position fires).
+	inv1 := GeometricInv(1)
+	for w := uint64(1); w < 1000; w++ {
+		if got := GeometricWord(w*0x9E3779B97F4A7C15, inv1); got != 0 {
+			t.Fatalf("GeometricWord(p=1) = %d, want 0", got)
+		}
+	}
+}
+
+func TestGeometricWordMean(t *testing.T) {
+	// Driving GeometricWord with a counter-addressed stream must reproduce
+	// the geometric distribution: mean (1-p)/p within sampling error.
+	for _, p := range []float64{0.05, 0.2, 0.5} {
+		inv := GeometricInv(p)
+		const draws = 50000
+		sum := 0.0
+		for j := 0; j < draws; j++ {
+			sum += float64(GeometricWord(StreamWord(0xABCDEF, j), inv))
+		}
+		got := sum / draws
+		want := (1 - p) / p
+		if math.Abs(got-want) > 0.05*(want+0.1) {
+			t.Errorf("GeometricWord(p=%v) mean = %v, want %v", p, got, want)
+		}
+	}
+}
+
 func TestNewSeededDeterministic(t *testing.T) {
 	a, b := NewSeeded(1000), NewSeeded(1000)
 	for i := 0; i < 64; i++ {

@@ -280,6 +280,13 @@ func NewStream(proto longitudinal.Protocol, opts ...Option) (*Stream, error) {
 		// wire ingestion share rounds.
 		target := agg
 		s.collector = longitudinal.NewShardedCollector(target, cfg.cohortN, cfg.shards)
+		if s.tallier != nil {
+			// Route cohort collection through the same allocation-free
+			// generate→tally round trip as wire ingestion (clients emit
+			// AppendReport payloads into per-shard buffers). WithDecoder
+			// pins the boxed Report path here too.
+			s.collector.EnableTallyDirect(s.tallier)
+		}
 	}
 	return s, nil
 }

@@ -220,7 +220,7 @@ func mseRun(ds *datasets.Dataset, truth [][]float64, proto longitudinal.Protocol
 	for u := range clients {
 		clients[u] = proto.NewClient(randsrc.Derive(seed, uint64(u)))
 	}
-	collector := longitudinal.NewShardedCollector(proto.NewAggregator(), n, shards)
+	collector := newCollector(proto, n, shards)
 
 	// Bucket-domain protocols score against folded truth.
 	fold := func(f []float64) []float64 { return f }
@@ -245,6 +245,20 @@ func mseRun(ds *datasets.Dataset, truth [][]float64, proto longitudinal.Protocol
 		total += sum / float64(len(est))
 	}
 	return total / float64(tau)
+}
+
+// newCollector builds the per-run collection engine, routed through the
+// protocol's allocation-free wire fast path (AppendReport + tally-direct)
+// whenever the protocol supports it — every built-in family does. The
+// grid's millions of simulated reports then generate and tally without a
+// bitset, boxed Report or wire-buffer allocation per report; estimates are
+// bit-identical to the Report/Add path.
+func newCollector(proto longitudinal.Protocol, n, shards int) *longitudinal.ShardedCollector {
+	collector := longitudinal.NewShardedCollector(proto.NewAggregator(), n, shards)
+	if tp, ok := proto.(longitudinal.TallyProtocol); ok {
+		collector.EnableTallyDirect(tp.WireTallier())
+	}
+	return collector
 }
 
 // ---------------------------------------------------------------------------
@@ -431,7 +445,7 @@ func ReplaySharded(ds *datasets.Dataset, proto longitudinal.Protocol, seed uint6
 	for u := range clients {
 		clients[u] = proto.NewClient(randsrc.Derive(seed, uint64(u)))
 	}
-	collector := longitudinal.NewShardedCollector(proto.NewAggregator(), n, shards)
+	collector := newCollector(proto, n, shards)
 	out := make([][]float64, tau)
 	for t := 0; t < tau; t++ {
 		est, err := collector.Collect(clients, ds.Round(t))

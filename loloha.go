@@ -52,6 +52,14 @@ type Protocol = longitudinal.Protocol
 // Report is one round's sanitized payload.
 type Report = longitudinal.Report
 
+// AppendReporter is a Client with an allocation-free emission path:
+// AppendReport writes the round's steady-state wire payload straight into
+// a caller buffer (no boxed Report, no intermediate bitset) and
+// WireRegistration exposes the client's enrollment metadata. Every client
+// in this repository implements it; collection layers use it automatically
+// and fall back to Report for clients that don't.
+type AppendReporter = longitudinal.AppendReporter
+
 // LOLOHA is the configured protocol of the paper (Algorithms 1 and 2).
 type LOLOHA = core.Protocol
 
