@@ -42,6 +42,14 @@ type Protocol struct {
 	cacheSupport bool
 }
 
+// Fast-path contracts (wirecontract): a regression in either interface
+// would silently degrade ingestion to the boxed Report path.
+var (
+	_ longitudinal.SpecProtocol   = (*Protocol)(nil)
+	_ longitudinal.TallyProtocol  = (*Protocol)(nil)
+	_ longitudinal.AppendReporter = (*Client)(nil)
+)
+
 // Option customizes a Protocol.
 type Option func(*config)
 
@@ -228,6 +236,8 @@ func (c *Client) ReportValue(v int) Report {
 }
 
 // reportCell runs one round and returns the sanitized hash cell.
+//
+//loloha:noalloc
 func (c *Client) reportCell(v int) int {
 	if v < 0 || v >= c.proto.k {
 		panic(fmt.Sprintf("core: LOLOHA value %d outside [0,%d)", v, c.proto.k))
@@ -243,6 +253,8 @@ func (c *Client) reportCell(v int) int {
 // AppendReport implements longitudinal.AppendReporter: the sanitized cell
 // straight into wire bytes — no boxed report, zero allocations when dst
 // has capacity.
+//
+//loloha:noalloc
 func (c *Client) AppendReport(dst []byte, v int) []byte {
 	return freqoracle.AppendGRRReport(dst, c.reportCell(v), c.proto.g)
 }
@@ -256,6 +268,8 @@ func (c *Client) WireRegistration() longitudinal.Registration {
 
 // Charge implements longitudinal.Client: it advances the privacy ledger as
 // Report would, without the PRR/IRR work.
+//
+//loloha:noalloc
 func (c *Client) Charge(v int) {
 	if v < 0 || v >= c.proto.k {
 		panic(fmt.Sprintf("core: LOLOHA value %d outside [0,%d)", v, c.proto.k))
@@ -277,6 +291,8 @@ type Report struct {
 }
 
 // AppendBinary implements longitudinal.Report (steady state: the cell only).
+//
+//loloha:noalloc
 func (r Report) AppendBinary(dst []byte) []byte {
 	return freqoracle.AppendGRRReport(dst, r.X, r.g)
 }
@@ -354,6 +370,8 @@ func (a *Aggregator) Add(userID int, rep longitudinal.Report) {
 }
 
 // AddReport is Add with a concrete report type.
+//
+//loloha:noalloc
 func (a *Aggregator) AddReport(userID int, r Report) {
 	if r.X < 0 || r.X >= a.proto.g {
 		panic(fmt.Sprintf("core: LOLOHA report %d outside [0,%d)", r.X, a.proto.g))
@@ -361,6 +379,7 @@ func (a *Aggregator) AddReport(userID int, r Report) {
 	x := uint8(r.X)
 	if a.tables != nil {
 		table, ok := a.tables[userID]
+		//loloha:alloc-ok cold: the per-user hash table is built once, on first report
 		if !ok {
 			h := a.proto.family.FromSeed(r.HashSeed)
 			table = make([]uint8, a.proto.k)
@@ -376,6 +395,7 @@ func (a *Aggregator) AddReport(userID int, r Report) {
 		}
 	} else {
 		h, ok := a.hashes[userID]
+		//loloha:alloc-ok cold: the user's hash is resolved once, on first report
 		if !ok {
 			h = a.proto.family.FromSeed(r.HashSeed)
 			a.hashes[userID] = h

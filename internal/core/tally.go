@@ -18,6 +18,8 @@ type wireTallier struct{ proto *Protocol }
 // TallyWire implements longitudinal.WireTallier: parse the sanitized hash
 // cell and run the Algorithm 2 support loop against the user's registered
 // hash.
+//
+//loloha:noalloc
 func (t wireTallier) TallyWire(agg longitudinal.Aggregator, userID int, payload []byte, reg longitudinal.Registration) error {
 	a, ok := agg.(*Aggregator)
 	if !ok || a.proto != t.proto {

@@ -14,6 +14,8 @@ import (
 
 // valueBytes returns the number of bytes needed to carry one value of a
 // domain of size k (⌈log₂k⌉ bits rounded up to whole bytes).
+//
+//loloha:noalloc
 func valueBytes(k int) int {
 	if k <= 1 {
 		return 1
@@ -23,6 +25,8 @@ func valueBytes(k int) int {
 }
 
 // AppendGRRReport appends the wire form of a GRR report over domain size k.
+//
+//loloha:noalloc
 func AppendGRRReport(dst []byte, report, k int) []byte {
 	n := valueBytes(k)
 	var buf [8]byte
@@ -32,6 +36,8 @@ func AppendGRRReport(dst []byte, report, k int) []byte {
 
 // DecodeGRRReport reads a GRR report over domain size k from src, returning
 // the report and the remaining bytes.
+//
+//loloha:noalloc
 func DecodeGRRReport(src []byte, k int) (int, []byte, error) {
 	n := valueBytes(k)
 	if len(src) < n {
@@ -48,6 +54,8 @@ func DecodeGRRReport(src []byte, k int) (int, []byte, error) {
 
 // AppendLHReport appends the wire form of an LH report: the 8-byte hash
 // seed followed by the perturbed hash over [0..g).
+//
+//loloha:noalloc
 func AppendLHReport(dst []byte, rep LHReport, g int) []byte {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], rep.Seed)
@@ -56,6 +64,8 @@ func AppendLHReport(dst []byte, rep LHReport, g int) []byte {
 }
 
 // DecodeLHReport reads an LH report with reduced domain g from src.
+//
+//loloha:noalloc
 func DecodeLHReport(src []byte, g int) (LHReport, []byte, error) {
 	if len(src) < 8 {
 		return LHReport{}, nil, fmt.Errorf("freqoracle: short LH report: %d bytes", len(src))
@@ -70,6 +80,8 @@ func DecodeLHReport(src []byte, g int) (LHReport, []byte, error) {
 
 // AppendUEReport appends the wire form of a unary-encoding report: the k
 // bits packed little-endian.
+//
+//loloha:noalloc
 func AppendUEReport(dst []byte, rep *bitset.Bitset) []byte {
 	nBytes := (rep.Len() + 7) / 8
 	start := len(dst)
@@ -91,11 +103,15 @@ func AppendUEReport(dst []byte, rep *bitset.Bitset) []byte {
 
 // GRRPayloadBytes returns the exact byte length of a GRR payload over a
 // domain of size k.
+//
+//loloha:noalloc
 func GRRPayloadBytes(k int) int { return valueBytes(k) }
 
 // ParseGRRPayload reads a complete GRR payload over domain size k without
 // allocating: the payload must be exactly GRRPayloadBytes(k) bytes and
 // carry a value in [0..k).
+//
+//loloha:noalloc
 func ParseGRRPayload(src []byte, k int) (int, error) {
 	if n := valueBytes(k); len(src) != n {
 		return 0, fmt.Errorf("freqoracle: GRR payload is %d bytes, want %d", len(src), n)
@@ -105,11 +121,15 @@ func ParseGRRPayload(src []byte, k int) (int, error) {
 }
 
 // UEPayloadBytes returns the exact byte length of a k-bit UE payload.
+//
+//loloha:noalloc
 func UEPayloadBytes(k int) int { return (k + 7) / 8 }
 
 // CheckUEPayload validates a complete k-bit UE payload in place: exactly
 // UEPayloadBytes(k) bytes, with every bit beyond k zero. It allocates only
 // on the error path.
+//
+//loloha:noalloc
 func CheckUEPayload(src []byte, k int) error {
 	nBytes := UEPayloadBytes(k)
 	if len(src) < nBytes {
@@ -128,6 +148,8 @@ func CheckUEPayload(src []byte, k int) error {
 // 0/1) into counts, which must have length at least k, without decoding
 // into a Bitset. Callers validate with CheckUEPayload first; bits beyond k
 // must be zero.
+//
+//loloha:noalloc
 func AccumulateUEPayload(src []byte, k int, counts []int64) {
 	nBytes := UEPayloadBytes(k)
 	j := 0

@@ -1,0 +1,100 @@
+package freqoracle
+
+import (
+	"math"
+	"testing"
+)
+
+// Fuzz targets for the allocation-free payload readers and the LH decoder:
+// arbitrary bytes must produce either a valid value or an error — never a
+// panic, never an out-of-domain value. `go test` exercises the seed
+// corpus; `go test -fuzz` explores.
+
+func FuzzDecodeLHReport(f *testing.F) {
+	f.Add([]byte{}, 2)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 0}, 16)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, 300)
+	f.Fuzz(func(t *testing.T, data []byte, gRaw int) {
+		g := gRaw%1000 + 2
+		if g < 2 {
+			g = 2
+		}
+		rep, _, err := DecodeLHReport(data, g)
+		if err != nil {
+			return
+		}
+		if rep.X < 0 || rep.X >= g {
+			t.Fatalf("decoded hash %d outside [0,%d)", rep.X, g)
+		}
+	})
+}
+
+func FuzzParseGRRPayload(f *testing.F) {
+	f.Add([]byte{0x00}, 10)
+	f.Add([]byte{0xFF, 0xFF}, 70000)
+	f.Add([]byte{}, 2)
+	f.Fuzz(func(t *testing.T, data []byte, kRaw int) {
+		k := kRaw%100000 + 2
+		if k < 2 {
+			k = 2
+		}
+		v, err := ParseGRRPayload(data, k)
+		if err != nil {
+			return
+		}
+		if v < 0 || v >= k {
+			t.Fatalf("parsed %d outside [0,%d)", v, k)
+		}
+		if len(data) != GRRPayloadBytes(k) {
+			t.Fatalf("accepted %d payload bytes, want exactly %d", len(data), GRRPayloadBytes(k))
+		}
+	})
+}
+
+func FuzzCheckUEPayload(f *testing.F) {
+	f.Add([]byte{0x0F}, 4)
+	f.Add([]byte{0xFF, 0x01}, 9)
+	f.Add([]byte{}, 64)
+	f.Fuzz(func(t *testing.T, data []byte, kRaw int) {
+		k := kRaw%4096 + 1
+		if k < 1 {
+			k = 1
+		}
+		if err := CheckUEPayload(data, k); err != nil {
+			return
+		}
+		// An accepted payload must accumulate within bounds and agree with
+		// the boxed decoder on every bit.
+		counts := make([]int64, k)
+		AccumulateUEPayload(data, k, counts)
+		bs, _, err := DecodeUEReport(data, k)
+		if err != nil {
+			t.Fatalf("CheckUEPayload accepted what DecodeUEReport rejects: %v", err)
+		}
+		for i := 0; i < k; i++ {
+			want := int64(0)
+			if bs.Get(i) {
+				want = 1
+			}
+			if counts[i] != want {
+				t.Fatalf("bit %d: accumulated %d, decoded %d", i, counts[i], want)
+			}
+		}
+	})
+}
+
+func FuzzGRRParams(f *testing.F) {
+	f.Add(1.0, 10)
+	f.Add(math.Inf(1), 4)
+	f.Add(math.NaN(), 4)
+	f.Add(-3.0, 2)
+	f.Fuzz(func(t *testing.T, eps float64, k int) {
+		p, err := GRRParams(eps, k)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(p.P) || math.IsNaN(p.Q) || !p.Valid() {
+			t.Fatalf("GRRParams(%v, %d) accepted unusable params %+v", eps, k, p)
+		}
+	})
+}

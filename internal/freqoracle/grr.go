@@ -41,6 +41,8 @@ func (m *GRR) Params() Params { return m.params }
 
 // Perturb applies M_GRR to v. It panics if v is outside [0..k); domain
 // membership is the caller's contract.
+//
+//loloha:noalloc
 func (m *GRR) Perturb(v int, r *randsrc.Rand) int {
 	if v < 0 || v >= m.k {
 		panic(fmt.Sprintf("freqoracle: GRR input %d outside [0,%d)", v, m.k))
@@ -56,6 +58,8 @@ func (m *GRR) Perturb(v int, r *randsrc.Rand) int {
 // w2. This deterministic form implements PRF-based memoization: feeding the
 // same (w1, w2) always yields the same output, which is exactly "memoize
 // x' for x" in Algorithm 1 without storing the table.
+//
+//loloha:noalloc
 func (m *GRR) PerturbWord(v int, w1, w2 uint64) int {
 	if v < 0 || v >= m.k {
 		panic(fmt.Sprintf("freqoracle: GRR input %d outside [0,%d)", v, m.k))

@@ -25,11 +25,22 @@ func (p Params) Valid() bool {
 	return p.P > p.Q && p.Q > 0 && p.P < 1
 }
 
+// checkEps rejects privacy levels the calibrations cannot turn into
+// probabilities: non-positive, NaN (every comparison on which is false, so
+// it would slide through a plain eps <= 0 guard) and +Inf (e^ε overflows
+// and the p/q ratios collapse to NaN).
+func checkEps(eps float64) error {
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return fmt.Errorf("freqoracle: eps must be positive and finite, got %v", eps)
+	}
+	return nil
+}
+
 // GRRParams returns the GRR calibration for domain size k at privacy level
 // eps: p = e^ε/(e^ε+k−1), q = (1−p)/(k−1) (§2.3.1).
 func GRRParams(eps float64, k int) (Params, error) {
-	if eps <= 0 {
-		return Params{}, fmt.Errorf("freqoracle: eps must be positive, got %v", eps)
+	if err := checkEps(eps); err != nil {
+		return Params{}, err
 	}
 	if k < 2 {
 		return Params{}, fmt.Errorf("freqoracle: GRR needs k >= 2, got %d", k)
@@ -45,8 +56,8 @@ func GRREps(p Params) float64 { return math.Log(p.P / p.Q) }
 // SUEParams returns the Symmetric Unary Encoding (RAPPOR-style) calibration:
 // p = e^{ε/2}/(e^{ε/2}+1), q = 1−p (§2.3.3).
 func SUEParams(eps float64) (Params, error) {
-	if eps <= 0 {
-		return Params{}, fmt.Errorf("freqoracle: eps must be positive, got %v", eps)
+	if err := checkEps(eps); err != nil {
+		return Params{}, err
 	}
 	e := math.Exp(eps / 2)
 	p := e / (e + 1)
@@ -56,8 +67,8 @@ func SUEParams(eps float64) (Params, error) {
 // OUEParams returns the Optimal Unary Encoding calibration: p = 1/2,
 // q = 1/(e^ε+1) (§2.3.3).
 func OUEParams(eps float64) (Params, error) {
-	if eps <= 0 {
-		return Params{}, fmt.Errorf("freqoracle: eps must be positive, got %v", eps)
+	if err := checkEps(eps); err != nil {
+		return Params{}, err
 	}
 	return Params{P: 0.5, Q: 1 / (math.Exp(eps) + 1)}, nil
 }

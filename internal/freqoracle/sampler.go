@@ -139,6 +139,8 @@ func geoJumpTable(t []uint64) []int16 {
 // jump table bounds the answer from below and a short scan finishes the
 // inversion; a word past the table's mass adds 256 and redraws (Geometric
 // is memoryless, so the recursion is exact).
+//
+//loloha:noalloc
 func (s *ReportSampler) nextGap(baseA uint64, j *int) int {
 	if s.geoT == nil {
 		w := randsrc.StreamWord(baseA, *j)
@@ -163,10 +165,14 @@ func (s *ReportSampler) nextGap(baseA uint64, j *int) int {
 }
 
 // K returns the number of positions per round.
+//
+//loloha:noalloc
 func (s *ReportSampler) K() int { return s.k }
 
 // PayloadBytes returns the wire size of one round: the k bits packed
 // little-endian, as AppendUEReport lays them out.
+//
+//loloha:noalloc
 func (s *ReportSampler) PayloadBytes() int { return UEPayloadBytes(s.k) }
 
 // AppendReport appends one round's wire payload — PayloadBytes() bytes, the
@@ -174,6 +180,8 @@ func (s *ReportSampler) PayloadBytes() int { return UEPayloadBytes(s.k) }
 // buffer. rb anchors the round's randomness; ones lists the positions whose
 // flip probability is p, sorted ascending, distinct, each in [0..k). When
 // dst has capacity the call performs no allocations.
+//
+//loloha:noalloc
 func (s *ReportSampler) AppendReport(dst []byte, rb uint64, ones []int32) []byte {
 	n := UEPayloadBytes(s.k)
 	dst = append(dst, make([]byte, n)...)
@@ -189,6 +197,8 @@ func (s *ReportSampler) AppendReport(dst []byte, rb uint64, ones []int32) []byte
 // sparseInto is the production path for sparse q: it walks only the base
 // flips (geometric gaps) and the "one" positions, merged in ascending
 // order, so a round costs O(k·q + len(ones) + 1) word draws.
+//
+//loloha:noalloc
 func (s *ReportSampler) sparseInto(buf []byte, rb uint64, ones []int32) {
 	baseA := randsrc.Derive(rb, 0)
 	upA := randsrc.Derive(rb, 1)
@@ -223,6 +233,8 @@ func (s *ReportSampler) sparseInto(buf []byte, rb uint64, ones []int32) {
 // consumes the canonical streams exactly as the sparse walk does, kept as
 // the obviously-correct form the parity tests pin the sparse path against
 // and as the faster path when flips are dense.
+//
+//loloha:noalloc
 func (s *ReportSampler) denseInto(buf []byte, rb uint64, ones []int32) {
 	baseA := randsrc.Derive(rb, 0)
 	upA := randsrc.Derive(rb, 1)

@@ -112,6 +112,14 @@ type ChainUE struct {
 	sampler freqoracle.ReportSampler
 }
 
+// Fast-path contracts (wirecontract): a regression in either interface
+// would silently degrade ingestion to the boxed Report path.
+var (
+	_ SpecProtocol   = (*ChainUE)(nil)
+	_ TallyProtocol  = (*ChainUE)(nil)
+	_ AppendReporter = (*chainUEClient)(nil)
+)
+
 // NewChainUE builds a chained-UE protocol from explicit parameters;
 // normally constructed through NewRAPPOR, NewLOSUE, NewLOUE or NewLSOUE.
 func NewChainUE(name string, k int, params ChainParams, epsInf, eps1 float64) (*ChainUE, error) {
@@ -232,6 +240,8 @@ type chainUEClient struct {
 }
 
 // baseOf returns the PRF stream anchor for the memoized encoding of w.
+//
+//loloha:noalloc
 func (cl *chainUEClient) baseOf(w int) uint64 {
 	if b, ok := cl.bases[w]; ok {
 		return b
@@ -243,6 +253,8 @@ func (cl *chainUEClient) baseOf(w int) uint64 {
 
 // prrBit returns the memoized PRR bit i of the unary encoding of value w:
 // a PRF draw, identical every time the same (w, i) pair recurs.
+//
+//loloha:noalloc
 func (cl *chainUEClient) prrBit(w, i int) bool {
 	t := cl.q1T
 	if i == w {
@@ -254,11 +266,14 @@ func (cl *chainUEClient) prrBit(w, i int) bool {
 // onesOf returns the memoized PRR one-positions of value w, cached after
 // the first materialization (one O(k) PRF scan per distinct value, against
 // one per *round* on the old dense path).
+//
+//loloha:noalloc
 func (cl *chainUEClient) onesOf(w int) []int32 {
 	if o, ok := cl.ones[w]; ok {
 		return o
 	}
 	k := cl.proto.k
+	//loloha:alloc-ok cold: one one-list materialization per distinct value, capped by onesCacheCap
 	o := make([]int32, 0, 8+k/8)
 	for i := 0; i < k; i++ {
 		if cl.prrBit(w, i) {
@@ -288,6 +303,8 @@ func (cl *chainUEClient) Report(v int) Report {
 // the next word of the client's stream, with the memoized one-list as the
 // upgraded positions. Steady state (warm caches, capacity in dst) performs
 // zero allocations.
+//
+//loloha:noalloc
 func (cl *chainUEClient) AppendReport(dst []byte, v int) []byte {
 	cl.Charge(v)
 	return cl.proto.sampler.AppendReport(dst, cl.rng.Uint64(), cl.onesOf(v))
@@ -298,6 +315,8 @@ func (cl *chainUEClient) AppendReport(dst []byte, v int) []byte {
 func (cl *chainUEClient) WireRegistration() Registration { return Registration{} }
 
 // Charge implements Client.
+//
+//loloha:noalloc
 func (cl *chainUEClient) Charge(v int) {
 	if v < 0 || v >= cl.proto.k {
 		panic(fmt.Sprintf("longitudinal: %s value %d outside [0,%d)", cl.proto.name, v, cl.proto.k))

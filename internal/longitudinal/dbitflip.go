@@ -28,6 +28,13 @@ type DBitFlipPM struct {
 	sampler freqoracle.ReportSampler
 }
 
+// Fast-path contracts (wirecontract).
+var (
+	_ SpecProtocol   = (*DBitFlipPM)(nil)
+	_ TallyProtocol  = (*DBitFlipPM)(nil)
+	_ AppendReporter = (*dBitClient)(nil)
+)
+
 // NewDBitFlipPM returns a dBitFlipPM protocol over domain size k with b
 // buckets, d sampled bits per user and longitudinal budget epsInf. The
 // bounds k >= 2, 2 <= b <= k and 1 <= d <= b are all validated here with
@@ -47,8 +54,8 @@ func NewDBitFlipPM(k, b, d int, epsInf float64) (*DBitFlipPM, error) {
 	if err != nil {
 		return nil, err
 	}
-	if epsInf <= 0 {
-		return nil, fmt.Errorf("longitudinal: dBitFlipPM needs epsInf > 0, got %v", epsInf)
+	if !(epsInf > 0) || math.IsInf(epsInf, 0) {
+		return nil, fmt.Errorf("longitudinal: dBitFlipPM needs finite epsInf > 0, got %v", epsInf)
 	}
 	e := math.Exp(epsInf / 2)
 	p := e / (e + 1)
@@ -138,6 +145,8 @@ type dBitClient struct {
 
 // baseOf returns the PRF stream anchor of the memoized response for an
 // input bucket.
+//
+//loloha:noalloc
 func (cl *dBitClient) baseOf(inputBucket int) uint64 {
 	return randsrc.Derive(cl.seed, uint64(inputBucket))
 }
@@ -147,6 +156,8 @@ func (cl *dBitClient) baseOf(inputBucket int) uint64 {
 // sampler round anchored at the bucket's PRF base, with the slot holding
 // the input bucket (at most one — sampled buckets are distinct) upgraded
 // from q to p.
+//
+//loloha:noalloc
 func (cl *dBitClient) packedOf(inputBucket int) []byte {
 	if m, ok := cl.memo[inputBucket]; ok {
 		return m
@@ -160,6 +171,7 @@ func (cl *dBitClient) packedOf(inputBucket int) []byte {
 			break
 		}
 	}
+	//loloha:alloc-ok cold: at most b memoized responses ever materialize per client
 	m := cl.proto.sampler.AppendReport(make([]byte, 0, (cl.proto.d+7)/8), cl.baseOf(inputBucket), ones)
 	cl.memo[inputBucket] = m
 	return m
@@ -193,6 +205,8 @@ func (cl *dBitClient) Report(v int) Report {
 // has been seen (at most b materializations ever; unsampled buckets share
 // a response *distribution* but are cached per bucket, since each draws
 // from its own PRF anchor).
+//
+//loloha:noalloc
 func (cl *dBitClient) AppendReport(dst []byte, v int) []byte {
 	cl.Charge(v)
 	return append(dst, cl.packedOf(cl.proto.z.Bucket(v))...)
@@ -204,6 +218,8 @@ func (cl *dBitClient) WireRegistration() Registration {
 }
 
 // Charge implements Client.
+//
+//loloha:noalloc
 func (cl *dBitClient) Charge(v int) {
 	if v < 0 || v >= cl.proto.k {
 		panic(fmt.Sprintf("longitudinal: dBitFlipPM value %d outside [0,%d)", v, cl.proto.k))
@@ -214,6 +230,8 @@ func (cl *dBitClient) Charge(v int) {
 // memoStateOf maps an input bucket onto its memoized-state identifier:
 // 1+l when it equals sampled bucket l, 0 for "none of the sampled buckets".
 // When d == b every bucket is sampled and states are exactly buckets.
+//
+//loloha:noalloc
 func (cl *dBitClient) memoStateOf(bucket int) int {
 	if s, ok := cl.state[bucket]; ok {
 		return s

@@ -1,12 +1,84 @@
 package longitudinal
 
 import (
+	"math"
 	"testing"
 )
 
 // Fuzz targets for the wire decoders: arbitrary bytes must produce either
 // a valid report or an error — never a panic, never an out-of-domain
 // report. `go test` exercises the seed corpus; `go test -fuzz` explores.
+
+// FuzzParseSpec feeds arbitrary bytes through the strict JSON spec parser
+// and, when a spec parses, through Build: malformed JSON, unknown fields
+// and out-of-range parameters must all surface as errors, never panics,
+// and a successful build must round-trip its spec.
+func FuzzParseSpec(f *testing.F) {
+	f.Add([]byte(`{"family":"LOLOHA","k":100,"eps_inf":1.2,"eps1":0.5}`))
+	f.Add([]byte(`{"family":"dBitFlipPM","k":100,"b":10,"d":4,"eps_inf":2}`))
+	f.Add([]byte(`{"family":"L-GRR","k":0,"eps_inf":-1,"eps1":9}`))
+	f.Add([]byte(`{"family":"nope"}`))
+	f.Add([]byte(`[{"family":"L-OSUE"}]`))
+	f.Add([]byte(`{"family":"RAPPOR","k":5,`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		p, err := s.Build()
+		if err != nil {
+			return
+		}
+		got := p.(SpecProtocol).Spec()
+		if got.Family == "" || got.K != s.K {
+			t.Fatalf("built protocol reports spec %+v from %+v", got, s)
+		}
+	})
+}
+
+// FuzzParseSpecs is the list form of FuzzParseSpec.
+func FuzzParseSpecs(f *testing.F) {
+	f.Add([]byte(`[{"family":"LOLOHA","k":10,"eps_inf":1,"eps1":0.4}]`))
+	f.Add([]byte(`{"family":"BiLOLOHA","k":10,"eps_inf":1,"eps1":0.4}`))
+	f.Add([]byte(`[[]]`))
+	f.Add([]byte(` [ `))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		specs, err := ParseSpecs(data)
+		if err != nil {
+			return
+		}
+		for _, s := range specs {
+			if _, err := s.Build(); err != nil {
+				continue
+			}
+		}
+	})
+}
+
+// FuzzSpecBuild drives Build with parameters JSON cannot even express
+// (NaN and ±Inf budgets reach this API from Go callers, not the wire):
+// every out-of-range K/G/B/D and non-finite epsilon must error, never
+// panic, for every registered family.
+func FuzzSpecBuild(f *testing.F) {
+	f.Add("LOLOHA", 100, 0, 0, 0, 1.2, 0.5)
+	f.Add("LOLOHA", 100, 2, 0, 0, math.Inf(1), 0.5)
+	f.Add("BiLOLOHA", 50, 0, 0, 0, math.NaN(), 0.2)
+	f.Add("L-GRR", 10, 0, 0, 0, 1.0, math.Inf(1))
+	f.Add("L-OSUE", 10, 0, 0, 0, math.Inf(-1), math.NaN())
+	f.Add("dBitFlipPM", 100, 0, 10, 4, math.Inf(1), 0.0)
+	f.Add("RAPPOR", -5, 0, 0, 0, 2.0, 1.0)
+	f.Fuzz(func(t *testing.T, family string, k, g, b, d int, epsInf, eps1 float64) {
+		s := ProtocolSpec{Family: family, K: k, G: g, B: b, D: d, EpsInf: epsInf, Eps1: eps1}
+		p, err := s.Build()
+		if err != nil {
+			return
+		}
+		spent := p.NewClient(1).PrivacySpent()
+		if math.IsNaN(spent) || math.IsInf(spent, 0) {
+			t.Fatalf("Build(%+v) accepted a non-finite privacy budget (spent=%v)", s, spent)
+		}
+	})
+}
 
 func FuzzDecodeUEReport(f *testing.F) {
 	f.Add([]byte{0x00}, 8)

@@ -21,6 +21,13 @@ type LGRR struct {
 	params       ChainParams
 }
 
+// Fast-path contracts (wirecontract).
+var (
+	_ SpecProtocol   = (*LGRR)(nil)
+	_ TallyProtocol  = (*LGRR)(nil)
+	_ AppendReporter = (*lgrrClient)(nil)
+)
+
 // NewLGRR returns the L-GRR protocol for domain size k with longitudinal
 // budget epsInf and first-report budget eps1.
 func NewLGRR(k int, epsInf, eps1 float64) (*LGRR, error) {
@@ -100,6 +107,8 @@ type lgrrClient struct {
 
 // reportValue runs one round: memoized PRR (a PRF of the value) then a
 // fresh IRR round, charging the ledger.
+//
+//loloha:noalloc
 func (cl *lgrrClient) reportValue(v int) int {
 	cl.Charge(v)
 	memo := cl.proto.prr.PerturbWord(v,
@@ -115,6 +124,8 @@ func (cl *lgrrClient) Report(v int) Report {
 
 // AppendReport implements AppendReporter: the sanitized value straight
 // into wire bytes, no boxed report.
+//
+//loloha:noalloc
 func (cl *lgrrClient) AppendReport(dst []byte, v int) []byte {
 	return freqoracle.AppendGRRReport(dst, cl.reportValue(v), cl.proto.k)
 }
@@ -124,6 +135,8 @@ func (cl *lgrrClient) AppendReport(dst []byte, v int) []byte {
 func (cl *lgrrClient) WireRegistration() Registration { return Registration{} }
 
 // Charge implements Client.
+//
+//loloha:noalloc
 func (cl *lgrrClient) Charge(v int) {
 	if v < 0 || v >= cl.proto.k {
 		panic(fmt.Sprintf("longitudinal: L-GRR value %d outside [0,%d)", v, cl.proto.k))

@@ -181,9 +181,12 @@ func EpsIRR(epsInf, eps1 float64) (float64, error) {
 }
 
 // ValidateBudgets checks the standing constraint 0 < ε1 < ε∞ of Algorithm 1.
+// Both budgets must be finite: ε∞ = +Inf would pass the ordering check and
+// then turn EpsIRR into NaN (Inf/Inf), and NaN budgets fail every
+// comparison, so the checks are phrased to reject them.
 func ValidateBudgets(epsInf, eps1 float64) error {
-	if !(eps1 > 0) || !(eps1 < epsInf) {
-		return fmt.Errorf("longitudinal: need 0 < eps1 < epsInf, got eps1=%v epsInf=%v", eps1, epsInf)
+	if !(eps1 > 0) || !(eps1 < epsInf) || math.IsInf(epsInf, 0) {
+		return fmt.Errorf("longitudinal: need 0 < eps1 < epsInf, both finite, got eps1=%v epsInf=%v", eps1, epsInf)
 	}
 	return nil
 }

@@ -50,6 +50,8 @@ type ueWireTallier struct{ k int }
 
 // TallyWire implements WireTallier: each set payload bit bumps one support
 // count straight from the payload bytes.
+//
+//loloha:noalloc
 func (t ueWireTallier) TallyWire(agg Aggregator, _ int, payload []byte, _ Registration) error {
 	a, ok := agg.(*chainUEAggregator)
 	if !ok || a.proto.k != t.k {
@@ -73,6 +75,8 @@ type grrWireTallier struct{ k int }
 
 // TallyWire implements WireTallier: parse the scalar value and bump its
 // count.
+//
+//loloha:noalloc
 func (t grrWireTallier) TallyWire(agg Aggregator, _ int, payload []byte, _ Registration) error {
 	a, ok := agg.(*lgrrAggregator)
 	if !ok || a.proto.k != t.k {
@@ -98,6 +102,8 @@ type dbitWireTallier struct{ proto *DBitFlipPM }
 // TallyWire implements WireTallier: each set payload bit bumps the count
 // of the user's enrolled sampled bucket at that slot, straight from the
 // payload bytes.
+//
+//loloha:noalloc
 func (t dbitWireTallier) TallyWire(agg Aggregator, _ int, payload []byte, reg Registration) error {
 	a, ok := agg.(*dBitAggregator)
 	if !ok || a.proto != t.proto {

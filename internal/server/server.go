@@ -47,6 +47,7 @@ type Decoder = longitudinal.Decoder
 // NewDecoder only. Registering the full FamilyInfo additionally makes the
 // protocol constructible from a declarative longitudinal.ProtocolSpec.
 func RegisterDecoder(name string, mk func(longitudinal.Protocol) (Decoder, error)) {
+	//loloha:boxed compatibility shim: decoder-only registrations are boxed by definition
 	longitudinal.RegisterWireDecoder(name, mk)
 }
 

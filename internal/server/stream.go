@@ -299,10 +299,13 @@ func (s *Stream) Shards() int { return len(s.shards) }
 
 // shardOf maps a user onto its stripe. The user ID is mixed first so that
 // contiguous ID ranges spread evenly regardless of stripe count.
+//
+//loloha:noalloc
 func (s *Stream) shardOf(userID int) *streamShard {
 	return s.shards[s.shardIndex(userID)]
 }
 
+//loloha:noalloc
 func (s *Stream) shardIndex(userID int) int {
 	if len(s.shards) == 1 {
 		return 0
@@ -317,6 +320,8 @@ func (s *Stream) shardIndex(userID int) int {
 // cohort: client u of WithCohort(n, seed) is user u, so a wire report
 // under the same ID would tally the user twice in one round — exactly the
 // duplicate bias the per-round report check exists to prevent.
+//
+//loloha:noalloc
 func (s *Stream) checkWireID(userID int) error {
 	if s.clients != nil && userID >= 0 && userID < len(s.clients) {
 		return fmt.Errorf("server: user %d is an attached cohort client; wire users must use IDs outside [0..%d)",
@@ -365,6 +370,8 @@ func (sh *streamShard) enroll(userID int, reg Registration) error {
 // protocol in this repository) the steady state performs zero allocations
 // per report: one map lookup resolves the user's slot, the duplicate check
 // is a bit test, and the payload tallies in place.
+//
+//loloha:noalloc
 func (s *Stream) Ingest(userID int, payload []byte) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -386,10 +393,15 @@ func (s *Stream) Ingest(userID int, payload []byte) error {
 			return fmt.Errorf("server: user %d payload: %w", userID, err)
 		}
 	} else {
+		// Single-report compatibility path: one payload decodes under one
+		// shard lock; only IngestBatch amortizes decoding outside the locks.
+		//loloha:locksafe one bounded decode per Ingest; batches use IngestBatch phase 2
+		//loloha:alloc-ok boxed Decoder compatibility path materializes a Report
 		rep, err := s.decoder.Decode(payload, sh.regs[slot])
 		if err != nil {
 			return fmt.Errorf("server: user %d payload: %w", userID, err)
 		}
+		//loloha:alloc-ok boxed Aggregator.Add is the compatibility tally
 		sh.agg.Add(userID, rep)
 	}
 	sh.reported.Set(slot, true)
@@ -410,6 +422,8 @@ func (s *Stream) Ingest(userID int, payload []byte) error {
 // per rejected report (nil when all landed). Tallies are integer counts,
 // so estimates are bit-identical to ingesting the same reports one at a
 // time in any order.
+//
+//loloha:noalloc
 func (s *Stream) IngestBatch(userIDs []int, payloads [][]byte) error {
 	if len(userIDs) != len(payloads) {
 		return fmt.Errorf("server: batch has %d user IDs for %d payloads", len(userIDs), len(payloads))
@@ -438,11 +452,13 @@ func (s *Stream) IngestBatch(userIDs []int, payloads [][]byte) error {
 		perShard[si] = append(perShard[si], i)
 	}
 
+	// Tally-direct: enrollment lookup, duplicate check and in-place
+	// tally under one lock acquisition per shard. A user repeated
+	// within the batch is rejected exactly like a repeat across
+	// Ingest calls. This early return IS the steady state, so noalloc
+	// checks it despite the terminating shape.
+	//loloha:steady
 	if s.tallier != nil {
-		// Tally-direct: enrollment lookup, duplicate check and in-place
-		// tally under one lock acquisition per shard. A user repeated
-		// within the batch is rejected exactly like a repeat across
-		// Ingest calls.
 		for si, idxs := range perShard {
 			if len(idxs) == 0 {
 				continue
@@ -503,6 +519,7 @@ func (s *Stream) IngestBatch(userIDs []int, payloads [][]byte) error {
 		if !ok[i] {
 			continue
 		}
+		//loloha:alloc-ok boxed Decoder compatibility path materializes Reports
 		rep, err := s.decoder.Decode(payloads[i], regs[i])
 		if err != nil {
 			ok[i] = false
@@ -531,6 +548,7 @@ func (s *Stream) IngestBatch(userIDs []int, payloads [][]byte) error {
 				errs = append(errs, fmt.Errorf("server: user %d already reported this round", u))
 				continue
 			}
+			//loloha:alloc-ok boxed Aggregator.Add is the compatibility tally
 			sh.agg.Add(u, reps[i])
 			sh.reported.Set(slot, true)
 			sh.tallied++
@@ -542,6 +560,8 @@ func (s *Stream) IngestBatch(userIDs []int, payloads [][]byte) error {
 
 // growScratch returns s resized to n elements, reusing its capacity when
 // possible. Contents are unspecified; callers overwrite or clear.
+//
+//loloha:noalloc
 func growScratch[T any](s []T, n int) []T {
 	if cap(s) < n {
 		return make([]T, n)
@@ -552,6 +572,8 @@ func growScratch[T any](s []T, n int) []T {
 // putScratch returns batch working memory to the pool, dropping references
 // to decoded reports and registration snapshots so pooled buffers never
 // pin payload-derived data between batches.
+//
+//loloha:noalloc
 func (s *Stream) putScratch(sc *batchScratch) {
 	clear(sc.reps)
 	clear(sc.regs)

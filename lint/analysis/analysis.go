@@ -1,0 +1,66 @@
+// Package analysis defines the analyzer plumbing of lolohalint: a minimal,
+// dependency-free mirror of the golang.org/x/tools/go/analysis surface. The
+// repository's root module is deliberately free of external dependencies,
+// and this build environment cannot fetch x/tools, so the suite carries its
+// own Analyzer/Pass/Diagnostic types plus a loader (package load) and a
+// driver (package runner) speaking the `go vet -vettool` protocol. An
+// analyzer written against this package looks exactly like an x/tools
+// analyzer without facts: a Name, a Doc and a Run over one type-checked
+// package.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name is the analyzer's command-line and diagnostic tag.
+	Name string
+	// Doc describes the contract the analyzer enforces.
+	Doc string
+	// Run inspects one package and reports diagnostics through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// FileOf returns the file containing pos, or nil.
+func (p *Pass) FileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsTestFile reports whether pos lies in a _test.go file. The lolohalint
+// contracts are production-code contracts: test files exercise cold paths,
+// deliberately race, and pin allocations at runtime instead.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	name := p.Fset.Position(pos).Filename
+	return len(name) >= len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}

@@ -1,0 +1,161 @@
+// Package analysistest runs one analyzer over GOPATH-style fixture
+// packages and checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	testdata/src/<importpath>/<file>.go
+//
+// A line producing a diagnostic carries a trailing comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// Every diagnostic must match an unconsumed want pattern on its line, and
+// every want pattern must be consumed, or the test fails.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/loloha-ldp/loloha/lint/analysis"
+	"github.com/loloha-ldp/loloha/lint/load"
+	"github.com/loloha-ldp/loloha/lint/runner"
+)
+
+// Run loads the patterns from testdata (the directory containing src/)
+// and checks the analyzer's diagnostics against the fixtures' want
+// comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	abs, err := filepath.Abs(testdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := append(os.Environ(),
+		"GO111MODULE=off",
+		"GOPATH="+abs,
+		"GOWORK=off",
+		"GOFLAGS=",
+	)
+	pkgs, err := load.Packages(load.Config{Dir: abs, Env: env, Patterns: patterns})
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages matched %v under %s", patterns, abs)
+	}
+	for _, pkg := range pkgs {
+		checkPackage(t, pkg, a)
+	}
+}
+
+// want is one expectation: a compiled pattern at file:line.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func checkPackage(t *testing.T, pkg *load.Package, a *analysis.Analyzer) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	diags := runner.AnalyzeForTest(pkg, a)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !consume(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func consume(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.rx.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants scans fixture comments for want expectations.
+func collectWants(t *testing.T, pkg *load.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := wantBody(c)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				pats, err := parseWant(text)
+				if err != nil {
+					t.Fatalf("%s: %v", pos, err)
+				}
+				for _, p := range pats {
+					rx, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, p, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx, raw: p})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func wantBody(c *ast.Comment) (string, bool) {
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimSpace(text)
+	body, ok := strings.CutPrefix(text, "want ")
+	return body, ok
+}
+
+// parseWant splits `"rx1" "rx2"` into its quoted patterns.
+func parseWant(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		if s[0] != '"' {
+			return nil, fmt.Errorf("want expectation must be double-quoted regexps, got %q", s)
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want pattern in %q", s)
+		}
+		p, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("bad want pattern %q: %v", s[:end+1], err)
+		}
+		out = append(out, p)
+		s = s[end+1:]
+	}
+}

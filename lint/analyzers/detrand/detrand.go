@@ -1,0 +1,206 @@
+// Package detrand guards the determinism of the estimate path. The
+// reproducibility claims (bit-identical P=1 vs P=8, spec-vs-constructor
+// parity) require that every random draw flows from internal/randsrc's
+// counter-addressable streams and that nothing on the tally/estimate path
+// depends on wall-clock time or Go's randomized map iteration order.
+//
+// In the scoped packages (internal/core, internal/freqoracle,
+// internal/longitudinal, internal/postprocess, internal/simulation) the
+// analyzer flags:
+//
+//   - importing math/rand or math/rand/v2 (use internal/randsrc);
+//   - calling time.Now, time.Since or time.Until;
+//   - ranging over a map while accumulating into an outer slice or
+//     sending on a channel — ordered output from unordered iteration —
+//     unless the slice is subsequently sorted in the same function
+//     (the append-then-sort idiom) or the range is marked
+//     //loloha:orderindep <why>.
+package detrand
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/loloha-ldp/loloha/lint/analysis"
+	"github.com/loloha-ldp/loloha/lint/annot"
+)
+
+// Analyzer is the detrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "estimate-path packages must stay deterministic: no math/rand, no wall clock, no map-order-dependent output",
+	Run:  run,
+}
+
+// scopes are the import-path suffixes of the estimate path.
+var scopes = []string{
+	"internal/core",
+	"internal/freqoracle",
+	"internal/longitudinal",
+	"internal/postprocess",
+	"internal/simulation",
+}
+
+func inScope(path string) bool {
+	for _, s := range scopes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	ix := annot.NewIndex(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			switch strings.Trim(imp.Path.Value, `"`) {
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(imp.Pos(), "global math/rand breaks counter-addressable determinism; draw from internal/randsrc")
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkClockCalls(pass, fd)
+			checkMapRanges(pass, ix, fd)
+		}
+	}
+	return nil
+}
+
+func checkClockCalls(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			return true
+		}
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "time.%s on the estimate path makes results time-dependent", fn.Name())
+		}
+		return true
+	})
+}
+
+func checkMapRanges(pass *analysis.Pass, ix *annot.Index, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, isMap := pass.TypesInfo.TypeOf(rs.X).Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if ix.At(rs, "orderindep") {
+			return true
+		}
+		checkOneMapRange(pass, fd, rs)
+		return true
+	})
+}
+
+// checkOneMapRange flags order-dependent accumulation inside one map range.
+func checkOneMapRange(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside a map range emits values in nondeterministic order")
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || len(n.Lhs) != len(n.Rhs) {
+					continue
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "append" || len(call.Args) == 0 {
+					continue
+				}
+				target := render(n.Lhs[i])
+				if target != render(call.Args[0]) {
+					continue
+				}
+				if declaredInside(pass, n.Lhs[i], rs) {
+					continue
+				}
+				if sortedAfter(pass, fd, rs, target) {
+					continue
+				}
+				pass.Reportf(n.Pos(), "appending to %s inside a map range produces nondeterministic order; sort it afterwards or mark //loloha:orderindep", target)
+			}
+		}
+		return true
+	})
+}
+
+// declaredInside reports whether the append target is local to the range
+// body (its order never escapes the iteration).
+func declaredInside(pass *analysis.Pass, target ast.Expr, rs *ast.RangeStmt) bool {
+	id, ok := ast.Unparen(target).(*ast.Ident)
+	if !ok {
+		return false // field/index target: assume it escapes
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	return obj != nil && rs.Pos() <= obj.Pos() && obj.Pos() < rs.End()
+}
+
+// sortedAfter reports whether the function sorts target after the range:
+// the append-then-sort idiom is deterministic regardless of map order.
+func sortedAfter(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, target string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, a := range call.Args {
+			if render(a) == target {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func render(e ast.Expr) string {
+	var b bytes.Buffer
+	printer.Fprint(&b, token.NewFileSet(), e)
+	return b.String()
+}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"github.com/loloha-ldp/loloha/lint/analysistest"
+	"github.com/loloha-ldp/loloha/lint/analyzers/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer, "detfix/internal/core")
+}

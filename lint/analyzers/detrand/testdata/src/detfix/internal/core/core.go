@@ -1,0 +1,60 @@
+// Package core exercises the detrand analyzer.
+package core
+
+import (
+	"math/rand" // want "global math/rand breaks counter-addressable determinism"
+	"sort"
+	"time"
+)
+
+func draw() int { return rand.Int() }
+
+func stamp() int64 {
+	return time.Now().Unix() // want "time.Now on the estimate path"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since on the estimate path"
+}
+
+func orderedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k) // ok: sorted below
+	}
+	sort.Strings(out)
+	return out
+}
+
+func unorderedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "appending to out inside a map range"
+	}
+	return out
+}
+
+func markedIndep(m map[string]int) []string {
+	var out []string
+	//loloha:orderindep the consumer treats this as a set
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func localInside(m map[string]int) int {
+	n := 0
+	for k := range m {
+		var tmp []byte
+		tmp = append(tmp, k...) // ok: tmp never escapes the iteration
+		n += len(tmp)
+	}
+	return n
+}
+
+func emit(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want "channel send inside a map range"
+	}
+}

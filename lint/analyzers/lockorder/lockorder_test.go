@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"github.com/loloha-ldp/loloha/lint/analysistest"
+	"github.com/loloha-ldp/loloha/lint/analyzers/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "lockfix/internal/server")
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"github.com/loloha-ldp/loloha/lint/analysistest"
+	"github.com/loloha-ldp/loloha/lint/analyzers/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", noalloc.Analyzer, "noalloctest")
+}

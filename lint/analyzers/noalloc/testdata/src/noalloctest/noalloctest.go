@@ -1,0 +1,125 @@
+// Package noalloctest exercises the noalloc analyzer.
+package noalloctest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+type buf struct{ b []byte }
+
+type iface interface{ M() }
+
+type impl struct{ x int }
+
+func (impl) M() {}
+
+//loloha:noalloc
+func selfAppend(dst []byte, x byte) []byte {
+	dst = append(dst, x)                  // ok: self-append
+	dst = append(dst, make([]byte, 4)...) // ok: compiler bulk-extend
+	return append(dst, 0)                 // ok: returned append
+}
+
+//loloha:noalloc
+func growsOther(dst, other []byte) []byte {
+	other = append(dst, 1) // want "append result is neither returned nor assigned back"
+	_ = other
+	return dst
+}
+
+//loloha:noalloc
+func allocates(n int) {
+	_ = make([]int, n)   // want "make allocates"
+	_ = map[int]int{}    // want "map literal allocates"
+	_ = []int{1, 2}      // want "slice literal allocates"
+	_ = &buf{}           // want "address of composite literal allocates"
+	f := func() {}       // want "function literal allocates a closure"
+	f()                  // want "dynamic call through a function value"
+	go helper()          // want "go statement allocates a goroutine"
+}
+
+//loloha:noalloc
+func concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//loloha:noalloc
+func convert(b []byte) string {
+	return string(b) // want "conversion to string allocates"
+}
+
+//loloha:noalloc
+func callsFmt(x int) {
+	fmt.Println(x) // want "not in the noalloc trust table" "boxes it"
+}
+
+//loloha:noalloc
+func trustedMath(x float64) float64 {
+	return math.Sqrt(x) // ok: trusted stdlib
+}
+
+func helper() {}
+
+//loloha:noalloc
+func callsHelper() {
+	helper() // want "calls helper, which is not annotated"
+}
+
+//loloha:noalloc
+func callsAnnotated(dst []byte) []byte {
+	return selfAppend(dst, 1) // ok: same-package //loloha:noalloc callee
+}
+
+//loloha:noalloc
+func errorPath(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative %d", n) // ok: terminating error branch
+	}
+	return nil
+}
+
+var errNegative = errors.New("negative")
+
+//loloha:noalloc
+func steadyBranch(n int) error {
+	//loloha:steady
+	if n >= 0 {
+		_ = make([]int, n) // want "make allocates"
+		return nil
+	}
+	return errNegative // ok: sentinel errors do not allocate
+}
+
+//loloha:noalloc
+func coldPath(m map[int][]int, k int) []int {
+	v, ok := m[k]
+	if !ok {
+		//loloha:alloc-ok first materialization, amortized over reuse
+		v = make([]int, 8)
+		m[k] = v // ok: amortized map write
+	}
+	return v
+}
+
+//loloha:noalloc
+func guarded(i, n int) {
+	if i >= n {
+		panic(fmt.Sprintf("index %d out of %d", i, n)) // ok: panic path
+	}
+}
+
+//loloha:noalloc
+func takesIface(_ iface) {}
+
+//loloha:noalloc
+func boxing(p *impl, s impl) {
+	takesIface(p) // ok: pointers are interface-shaped
+	takesIface(s) // want "boxes it"
+}
+
+// unannotated may do anything.
+func unannotated() []int {
+	return []int{1, 2, 3}
+}

@@ -1,0 +1,73 @@
+// Package longitudinal exercises the wirecontract analyzer with a
+// miniature replica of the registry surface.
+package longitudinal
+
+type ProtocolSpec struct{ Name string }
+
+type Protocol interface{ K() int }
+
+type SpecProtocol interface {
+	Protocol
+	Spec() ProtocolSpec
+}
+
+type TallyProtocol interface{ WireTallier() int }
+
+type AppendReporter interface{ AppendReport([]byte, int) []byte }
+
+type FamilyInfo struct {
+	Build func(ProtocolSpec) (Protocol, error)
+}
+
+func RegisterFamily(name string, info FamilyInfo) {}
+
+func RegisterWireDecoder(name string, mk func() int) {}
+
+// good is the fully asserted fast-path family.
+type good struct{}
+
+func (*good) K() int             { return 2 }
+func (*good) Spec() ProtocolSpec { return ProtocolSpec{Name: "good"} }
+func (*good) WireTallier() int   { return 0 }
+
+func (p *good) NewClient(seed uint64) *goodClient { return &goodClient{} }
+
+type goodClient struct{}
+
+func (*goodClient) AppendReport(dst []byte, v int) []byte { return dst }
+
+var (
+	_ SpecProtocol   = (*good)(nil)
+	_ TallyProtocol  = (*good)(nil)
+	_ AppendReporter = (*goodClient)(nil)
+)
+
+// missing implements the fast path but forgot its assertions.
+type missing struct{}
+
+func (*missing) K() int             { return 2 }
+func (*missing) Spec() ProtocolSpec { return ProtocolSpec{Name: "missing"} }
+func (*missing) WireTallier() int   { return 0 }
+
+// boxedProto implements only the boxed minimum.
+type boxedProto struct{}
+
+func (*boxedProto) K() int             { return 2 }
+func (*boxedProto) Spec() ProtocolSpec { return ProtocolSpec{Name: "boxed"} }
+
+var _ SpecProtocol = (*boxedProto)(nil)
+
+func init() {
+	RegisterFamily("good", FamilyInfo{ // ok: implemented and asserted
+		Build: func(s ProtocolSpec) (Protocol, error) { return &good{}, nil },
+	})
+	RegisterFamily("missing", FamilyInfo{ // want "var _ SpecProtocol" "var _ TallyProtocol"
+		Build: func(s ProtocolSpec) (Protocol, error) { return &missing{}, nil },
+	})
+	RegisterFamily("boxed", FamilyInfo{ // want "does not implement TallyProtocol"
+		Build: func(s ProtocolSpec) (Protocol, error) { return &boxedProto{}, nil },
+	})
+	//loloha:boxed decoder-compat shim kept for the legacy wire format
+	RegisterWireDecoder("legacy", func() int { return 0 })
+	RegisterWireDecoder("loud", func() int { return 0 }) // want "decoder-only family"
+}

@@ -1,0 +1,12 @@
+package wirecontract_test
+
+import (
+	"testing"
+
+	"github.com/loloha-ldp/loloha/lint/analysistest"
+	"github.com/loloha-ldp/loloha/lint/analyzers/wirecontract"
+)
+
+func TestWirecontract(t *testing.T) {
+	analysistest.Run(t, "testdata", wirecontract.Analyzer, "wirefix/internal/longitudinal")
+}

@@ -1,0 +1,3 @@
+module github.com/loloha-ldp/loloha/lint
+
+go 1.24

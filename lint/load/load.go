@@ -1,0 +1,230 @@
+// Package load type-checks Go packages for lolohalint without any
+// dependency outside the standard library.
+//
+// Two entry points cover the two ways the suite runs:
+//
+//   - Packages shells out to `go list -export -json -deps`, which compiles
+//     dependencies and hands back per-package export data; the packages
+//     named by the patterns are then parsed from source and type-checked
+//     against that export data via the stdlib gc importer. This is the
+//     standalone CLI path and the analysistest path (the latter in GOPATH
+//     mode, via Config.Env).
+//
+//   - VetPackage reads the JSON config file cmd/go passes to a -vettool:
+//     the file lists sources, the import map and the export file of every
+//     dependency, so no `go list` round trip is needed.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Config controls Packages.
+type Config struct {
+	// Dir is the working directory for the go command ("" = current).
+	Dir string
+	// Env, if non-nil, replaces the go command environment. Callers that
+	// want GOPATH-mode fixture loading pass os.Environ() plus overrides
+	// (GO111MODULE=off, GOPATH=..., GOWORK=off, GOFLAGS=).
+	Env []string
+	// Patterns are the package patterns to load (e.g. "./...").
+	Patterns []string
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Packages loads and type-checks the packages matched by cfg.Patterns.
+// Dependencies are consumed as export data; only matched packages are
+// parsed from source.
+func Packages(cfg Config) ([]*Package, error) {
+	args := append([]string{"list", "-export", "-json", "-deps", "--"}, cfg.Patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	cmd.Env = cfg.Env
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", cfg.Patterns, err, stderr.String())
+	}
+
+	var roots []*listPkg
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			q := p
+			roots = append(roots, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := newImporter(fset, nil, exports)
+	var pkgs []*Package
+	for _, lp := range roots {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			if filepath.IsAbs(f) {
+				files[i] = f
+			} else {
+				files[i] = filepath.Join(lp.Dir, f)
+			}
+		}
+		pkg, err := check(fset, lp.ImportPath, files, imp, "")
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// VetConfig mirrors the JSON config file cmd/go hands to a -vettool.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// ReadVetConfig parses a vet .cfg file.
+func ReadVetConfig(path string) (*VetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %v", path, err)
+	}
+	return cfg, nil
+}
+
+// VetPackage type-checks the package described by a vet config.
+func VetPackage(cfg *VetConfig) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := newImporter(fset, cfg.ImportMap, cfg.PackageFile)
+	return check(fset, cfg.ImportPath, cfg.GoFiles, imp, cfg.GoVersion)
+}
+
+// check parses files and type-checks them as one package.
+func check(fset *token.FileSet, importPath string, files []string, imp types.Importer, goVersion string) (*Package, error) {
+	var asts []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(importPath, fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		PkgPath:   importPath,
+		Fset:      fset,
+		Files:     asts,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// mapImporter resolves raw import paths through an import map (vet test
+// variants) and serves dependencies from compiler export files via the
+// stdlib gc importer.
+type mapImporter struct {
+	importMap map[string]string // raw -> resolved; nil or missing = identity
+	base      types.ImporterFrom
+}
+
+func newImporter(fset *token.FileSet, importMap, packageFile map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := packageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &mapImporter{
+		importMap: importMap,
+		base:      importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
+	}
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if r, ok := m.importMap[path]; ok {
+		path = r
+	}
+	return m.base.ImportFrom(path, "", 0)
+}

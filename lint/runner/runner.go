@@ -1,0 +1,188 @@
+// Package runner drives lolohalint's analyzers in the two modes the suite
+// supports:
+//
+//   - Standalone: `lolohalint [-dir d] ./...` loads packages via go list
+//     and prints diagnostics; exit status 2 when anything is reported.
+//
+//   - Vet tool: when cmd/go invokes the binary as `go vet -vettool=...`,
+//     it speaks the unitchecker protocol — answer -V=full with a
+//     buildID-shaped version line, answer -flags with a JSON flag list,
+//     and otherwise accept a single *.cfg argument describing one
+//     package to check.
+package runner
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/loloha-ldp/loloha/lint/analysis"
+	"github.com/loloha-ldp/loloha/lint/load"
+)
+
+// Main runs the analyzers with os.Args and exits. It is the entire body
+// of cmd/lolohalint.
+func Main(analyzers ...*analysis.Analyzer) {
+	os.Exit(Run(os.Args[1:], analyzers))
+}
+
+// Run executes one invocation and returns the process exit code.
+func Run(args []string, analyzers []*analysis.Analyzer) int {
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V=") {
+		return printVersion(args[0])
+	}
+	if len(args) == 1 && (args[0] == "-flags" || args[0] == "--flags") {
+		// No analyzer exposes vet flags; cmd/go requires the query to
+		// succeed with a JSON array.
+		fmt.Println("[]")
+		return 0
+	}
+	dir := ""
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		switch {
+		case args[0] == "-dir" && len(args) > 1:
+			dir = args[1]
+			args = args[2:]
+		case strings.HasPrefix(args[0], "-dir="):
+			dir = strings.TrimPrefix(args[0], "-dir=")
+			args = args[1:]
+		default:
+			fmt.Fprintf(os.Stderr, "lolohalint: unknown flag %s\n", args[0])
+			return 1
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runVet(args[0], analyzers)
+	}
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: lolohalint [-dir d] packages... | lolohalint <unit>.cfg")
+		return 1
+	}
+	return runStandalone(dir, args, analyzers)
+}
+
+// printVersion answers `-V=full`. cmd/go demands the last space-separated
+// field start with "buildID=" and uses it to fingerprint the tool for vet
+// result caching; hashing the executable makes rebuilt tools re-run.
+func printVersion(flag string) int {
+	if flag != "-V=full" {
+		fmt.Printf("lolohalint version devel\n")
+		return 0
+	}
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			id = fmt.Sprintf("%x", sha256.Sum256(data))
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%s\n", progName(), id)
+	return 0
+}
+
+func progName() string {
+	return filepath.Base(os.Args[0])
+}
+
+// runVet checks the single package described by a cmd/go vet config.
+func runVet(cfgPath string, analyzers []*analysis.Analyzer) int {
+	cfg, err := load.ReadVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lolohalint: %v\n", err)
+		return 1
+	}
+	// The facts file must exist even though this suite exchanges none:
+	// cmd/go feeds it to dependent packages' runs.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "lolohalint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	pkg, err := load.VetPackage(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "lolohalint: %v\n", err)
+		return 1
+	}
+	diags := analyze(pkg, analyzers)
+	printDiags(pkg, diags)
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func runStandalone(dir string, patterns []string, analyzers []*analysis.Analyzer) int {
+	pkgs, err := load.Packages(load.Config{Dir: dir, Env: os.Environ(), Patterns: patterns})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lolohalint: %v\n", err)
+		return 1
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		diags := analyze(pkg, analyzers)
+		printDiags(pkg, diags)
+		if len(diags) > 0 {
+			exit = 2
+		}
+	}
+	return exit
+}
+
+// tagged pairs a diagnostic with the analyzer that produced it.
+type tagged struct {
+	analysis.Diagnostic
+	analyzer string
+}
+
+// analyze runs every analyzer over one package and returns diagnostics in
+// file order.
+func analyze(pkg *load.Package, analyzers []*analysis.Analyzer) []tagged {
+	var diags []tagged
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			diags = append(diags, tagged{Diagnostic: d, analyzer: name})
+		}
+		if err := a.Run(pass); err != nil {
+			diags = append(diags, tagged{
+				Diagnostic: analysis.Diagnostic{Message: fmt.Sprintf("analyzer failed: %v", err)},
+				analyzer:   name,
+			})
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}
+
+func printDiags(pkg *load.Package, diags []tagged) {
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", pkg.Fset.Position(d.Pos), d.Message, d.analyzer)
+	}
+}
+
+// AnalyzeForTest exposes the per-package analysis to the analysistest
+// package without exporting the driver internals.
+func AnalyzeForTest(pkg *load.Package, a *analysis.Analyzer) []analysis.Diagnostic {
+	out := analyze(pkg, []*analysis.Analyzer{a})
+	diags := make([]analysis.Diagnostic, len(out))
+	for i, d := range out {
+		diags[i] = d.Diagnostic
+	}
+	return diags
+}

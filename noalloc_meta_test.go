@@ -1,0 +1,125 @@
+package loloha_test
+
+// Meta-test tying the runtime allocation guard to the static one: every
+// method pinned by a testing.AllocsPerRun closure somewhere in this repo
+// must have at least one //loloha:noalloc-annotated declaration, so the
+// AllocsPerRun suites and the lolohalint noalloc analyzer cannot drift
+// apart. (The analyzer checks the reverse direction: annotated functions
+// must not contain allocating constructs.)
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAllocsPerRunTargetsAreAnnotated(t *testing.T) {
+	fset := token.NewFileSet()
+	pinned := map[string][]string{} // method name -> pin sites
+	annotated := map[string]bool{}  // //loloha:noalloc func/method names
+
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			// lint/ holds the analyzers' own fixtures; testdata is not
+			// engine code.
+			if path != "." && (name == "lint" || name == "testdata" || strings.HasPrefix(name, ".")) {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(path, "_test.go") {
+			collectPins(fset, f, pinned)
+			return nil
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(c.Text, "//loloha:noalloc") {
+					annotated[fd.Name.Name] = true
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pinned) == 0 {
+		t.Fatal("found no testing.AllocsPerRun closures; the meta-test is miswired")
+	}
+	for name, sites := range pinned {
+		if !annotated[name] {
+			t.Errorf("%s is pinned by AllocsPerRun at %s but no declaration of %s carries //loloha:noalloc",
+				name, strings.Join(sites, ", "), name)
+		}
+	}
+}
+
+// collectPins records every method called (on a non-testing receiver)
+// inside the func literal of a testing.AllocsPerRun call.
+func collectPins(fset *token.FileSet, f *ast.File, pinned map[string][]string) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "AllocsPerRun" || len(call.Args) != 2 {
+			return true
+		}
+		body, ok := call.Args[1].(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			c, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			s, ok := c.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if recv, ok := s.X.(*ast.Ident); ok && (recv == nil || recv.Name == "t" || recv.Name == "b") {
+				return true // testing.T / testing.B helpers
+			}
+			pos := fset.Position(c.Pos())
+			pinned[s.Sel.Name] = append(pinned[s.Sel.Name],
+				pos.Filename+":"+itoa(pos.Line))
+			return true
+		})
+		return true
+	})
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
