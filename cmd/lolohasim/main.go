@@ -8,6 +8,7 @@
 //	lolohasim table1                    # theoretical comparison
 //	lolohasim table2 -dataset syn       # dBitFlipPM change detection
 //	lolohasim specs                     # registered protocol families
+//	lolohasim loadgen                   # drive a running lolohad daemon
 //	lolohasim all                       # everything, all datasets
 //
 // Flags control the grid (-eps, -alphas), the repetitions (-runs), the
@@ -65,6 +66,11 @@ func run(args []string) error {
 		return fmt.Errorf("missing command")
 	}
 	cmd := args[0]
+	if cmd == "loadgen" {
+		// loadgen has its own flag set (daemon address, transport, batch
+		// shape) — intercept before the shared experiment flags parse.
+		return loadgenCmd(args[1:])
+	}
 
 	fs := flag.NewFlagSet("lolohasim", flag.ContinueOnError)
 	var o options
@@ -177,10 +183,11 @@ func run(args []string) error {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: lolohasim <command> [flags]
-commands:  fig1 fig2 fig3 fig4 table1 table2 ablation specs all
+commands:  fig1 fig2 fig3 fig4 table1 table2 ablation specs loadgen all
 protocols: %s (-proto; families via 'lolohasim specs')
 flags:     -dataset -runs -eps -alphas -n -seed -workers -shards -proto -spec -csv
            -cpuprofile -memprofile
+loadgen:   drive a running lolohad daemon ('lolohasim loadgen -h')
 `, strings.Join(simulation.StandardSpecNames(), " "))
 }
 

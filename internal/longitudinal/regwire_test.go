@@ -1,0 +1,159 @@
+package longitudinal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"slices"
+	"testing"
+)
+
+// TestRegistrationRoundTrip: encode→decode is the identity for every shape
+// of registration the protocols produce, and decode→encode reproduces the
+// exact input bytes (canonical form).
+func TestRegistrationRoundTrip(t *testing.T) {
+	cases := []Registration{
+		{},
+		{HashSeed: 1},
+		{HashSeed: math.MaxUint64},
+		{Sampled: []int{0}},
+		{Sampled: []int{7, 3, 7, 0}}, // duplicates and disorder survive verbatim
+		{HashSeed: 0xdeadbeefcafe, Sampled: []int{1, 2, 3}},
+		{Sampled: []int{math.MaxUint32}},
+		{HashSeed: 42, Sampled: make([]int, 257)},
+	}
+	for i := range cases[len(cases)-1].Sampled {
+		cases[len(cases)-1].Sampled[i] = i * 3
+	}
+	for _, reg := range cases {
+		enc, err := AppendRegistration(nil, reg)
+		if err != nil {
+			t.Fatalf("%+v: %v", reg, err)
+		}
+		if len(enc) != RegistrationWireSize(reg) {
+			t.Fatalf("%+v: encoded %d bytes, RegistrationWireSize says %d", reg, len(enc), RegistrationWireSize(reg))
+		}
+		got, rest, err := DecodeRegistration(enc)
+		if err != nil {
+			t.Fatalf("%+v: decode: %v", reg, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%+v: %d undecoded bytes", reg, len(rest))
+		}
+		if got.HashSeed != reg.HashSeed || !slices.Equal(got.Sampled, reg.Sampled) {
+			t.Fatalf("round trip: got %+v, want %+v", got, reg)
+		}
+		// Canonical: re-encoding the decoded value reproduces the bytes.
+		re, err := AppendRegistration(nil, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re, enc) {
+			t.Fatalf("%+v: re-encode differs: %x vs %x", reg, re, enc)
+		}
+		// Trailing bytes flow through untouched.
+		withTail := append(append([]byte(nil), enc...), 0xAA, 0xBB)
+		_, rest, err = DecodeRegistration(withTail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rest, []byte{0xAA, 0xBB}) {
+			t.Fatalf("tail not preserved: %x", rest)
+		}
+	}
+}
+
+// TestRegistrationAppendExtends pins the append contract: the encoding
+// lands after existing bytes and reuses capacity.
+func TestRegistrationAppendExtends(t *testing.T) {
+	prefix := []byte{1, 2, 3}
+	buf := make([]byte, len(prefix), 64)
+	copy(buf, prefix)
+	out, err := AppendRegistration(buf, Registration{HashSeed: 9, Sampled: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[:3], prefix) {
+		t.Fatalf("prefix clobbered: %x", out[:3])
+	}
+	if &out[0] != &buf[0] {
+		t.Fatal("append with spare capacity reallocated")
+	}
+	if _, _, err := DecodeRegistration(out[3:]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegistrationDecodeTruncated: every strict prefix of a valid encoding
+// is an error, never a panic or a silent partial decode.
+func TestRegistrationDecodeTruncated(t *testing.T) {
+	enc, err := AppendRegistration(nil, Registration{HashSeed: 5, Sampled: []int{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(enc); n++ {
+		if _, _, err := DecodeRegistration(enc[:n]); err == nil {
+			t.Fatalf("decoding %d of %d bytes succeeded", n, len(enc))
+		}
+	}
+}
+
+// TestRegistrationEncodeRejects: unencodable registrations error and leave
+// dst untouched.
+func TestRegistrationEncodeRejects(t *testing.T) {
+	for _, reg := range []Registration{
+		{Sampled: []int{-1}},
+		{Sampled: []int{int(math.MaxUint32) + 1}},
+		{Sampled: make([]int, MaxRegistrationSampled+1)},
+	} {
+		dst := []byte{0xFF}
+		out, err := AppendRegistration(dst, reg)
+		if err == nil {
+			t.Fatalf("encoding %+v succeeded", reg)
+		}
+		if !bytes.Equal(out, dst) {
+			t.Fatalf("failed encode mutated dst: %x", out)
+		}
+	}
+}
+
+// TestRegistrationDecodeHostileCount: a count field promising more buckets
+// than the payload carries (or more than the cap) is rejected before any
+// allocation sized by the count.
+func TestRegistrationDecodeHostileCount(t *testing.T) {
+	var b []byte
+	b = binary.LittleEndian.AppendUint64(b, 1)
+	b = binary.LittleEndian.AppendUint32(b, math.MaxUint32) // 4G buckets, 0 bytes of them
+	if _, _, err := DecodeRegistration(b); err == nil {
+		t.Fatal("hostile count accepted")
+	}
+	b = b[:8]
+	b = binary.LittleEndian.AppendUint32(b, MaxRegistrationSampled+1)
+	b = append(b, make([]byte, 4*8)...)
+	if _, _, err := DecodeRegistration(b); err == nil {
+		t.Fatal("over-cap count accepted")
+	}
+}
+
+// FuzzDecodeRegistration: arbitrary bytes either decode into a registration
+// that re-encodes to exactly the consumed bytes, or error.
+func FuzzDecodeRegistration(f *testing.F) {
+	seed, _ := AppendRegistration(nil, Registration{HashSeed: 3, Sampled: []int{1, 2}})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 16))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reg, rest, err := DecodeRegistration(data)
+		if err != nil {
+			return
+		}
+		consumed := data[:len(data)-len(rest)]
+		re, err := AppendRegistration(nil, reg)
+		if err != nil {
+			t.Fatalf("decoded registration does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, consumed) {
+			t.Fatalf("non-canonical decode: consumed %x, re-encodes %x", consumed, re)
+		}
+	})
+}

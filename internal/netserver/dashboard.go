@@ -1,0 +1,77 @@
+package netserver
+
+import "net/http"
+
+// The dashboard is one self-contained page: no build step, no external
+// assets, served from this string so the daemon binary stays a single
+// file. It polls /v1/status and subscribes to /v1/stream, rendering the
+// latest round's estimates as bars plus a rolling round log.
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(dashboardHTML))
+}
+
+const dashboardHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>lolohad — live collection</title>
+<style>
+  body { font: 14px/1.4 system-ui, sans-serif; margin: 2rem; color: #222; }
+  h1 { font-size: 1.2rem; } h2 { font-size: 1rem; margin-top: 1.5rem; }
+  code { background: #f2f2f2; padding: 0 .3em; }
+  #stats { display: flex; gap: 2rem; flex-wrap: wrap; }
+  #stats div { min-width: 8rem; }
+  #stats b { display: block; font-size: 1.4rem; }
+  .bar { height: 14px; background: #4a7db5; margin: 1px 0; }
+  .bar span { font-size: 11px; padding-left: 4px; color: #fff; white-space: nowrap; }
+  #rounds { border-collapse: collapse; }
+  #rounds td, #rounds th { border: 1px solid #ddd; padding: .2em .6em; text-align: right; }
+  #gap { color: #b00; }
+</style>
+</head>
+<body>
+<h1>lolohad — live longitudinal LDP collection</h1>
+<div id="stats"></div>
+<h2>Latest round estimates</h2>
+<div id="bars">(waiting for a round…)</div>
+<h2>Rounds <span id="gap"></span></h2>
+<table id="rounds"><tr><th>round</th><th>reports</th><th>max estimate</th><th>sum</th></tr></table>
+<script>
+const fmt = x => x.toLocaleString();
+let lastRound = -1;
+async function status() {
+  const s = await (await fetch('/v1/status')).json();
+  document.getElementById('stats').innerHTML =
+    '<div><b>' + s.protocol + '</b>protocol</div>' +
+    '<div><b>' + fmt(s.enrolled) + '</b>enrolled</div>' +
+    '<div><b>' + fmt(s.rounds) + '</b>rounds</div>' +
+    '<div><b>' + fmt(s.pending) + '</b>pending reports</div>' +
+    '<div><b>' + fmt(s.tcp.reports) + '</b>tcp reports</div>' +
+    '<div><b>' + fmt(s.http.reports) + '</b>http reports</div>' +
+    '<div><b>' + fmt(s.sse.clients) + '</b>sse clients</div>';
+}
+function onRound(r) {
+  if (lastRound >= 0 && r.round !== lastRound + 1)
+    document.getElementById('gap').textContent =
+      '(missed rounds ' + (lastRound + 1) + '…' + (r.round - 1) + ' — slow subscriber)';
+  lastRound = r.round;
+  const est = r.estimates || [];
+  const max = Math.max(1e-12, ...est);
+  document.getElementById('bars').innerHTML = est.map((e, i) =>
+    '<div class="bar" style="width:' + Math.max(0, e / max * 600) + 'px">' +
+    '<span>' + i + ': ' + e.toFixed(4) + '</span></div>').join('');
+  const tbl = document.getElementById('rounds');
+  const row = tbl.insertRow(1);
+  const sum = est.reduce((a, b) => a + b, 0);
+  row.innerHTML = '<td>' + r.round + '</td><td>' + fmt(r.reports) + '</td><td>' +
+    Math.max(...est, 0).toFixed(4) + '</td><td>' + sum.toFixed(4) + '</td>';
+  while (tbl.rows.length > 21) tbl.deleteRow(21);
+}
+new EventSource('/v1/stream').addEventListener('round', ev => onRound(JSON.parse(ev.data)));
+status(); setInterval(status, 2000);
+</script>
+</body>
+</html>
+`

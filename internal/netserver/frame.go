@@ -1,0 +1,265 @@
+package netserver
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+
+	"github.com/loloha-ldp/loloha/internal/longitudinal"
+)
+
+// Raw-TCP framing: a length-prefixed envelope over the wire formats the
+// library already has. Every frame is
+//
+//	u32 LE  body length n (0 ≤ n ≤ MaxFrameBytes)
+//	u8      frame type
+//	n bytes body
+//
+// Client → server frames:
+//
+//	enroll (0x01): u64 LE userID ++ longitudinal.AppendRegistration bytes
+//	report (0x02): u64 LE userID ++ Report.AppendBinary payload
+//	flush  (0x03): empty body; requests an ack
+//
+// Server → client frames:
+//
+//	ack (0x80): 4 × u64 LE — enrolled, enrollRejected, reports,
+//	            reportRejected (connection-lifetime counters)
+//
+// Reports and enrollments are one-way (rejections only bump counters), so
+// the steady state never waits on the server; flush is the explicit sync
+// point — after its ack, every prior frame on the connection has been
+// applied, which is what a load generator or a parity test needs before
+// closing a round. A malformed frame (unknown type, oversize length,
+// short body) is a protocol error and closes the connection: framing
+// corruption is not survivable, unlike a semantically rejected report.
+
+const (
+	// FrameEnroll carries one user's enrollment.
+	FrameEnroll = 0x01
+	// FrameReport carries one user's round payload.
+	FrameReport = 0x02
+	// FrameFlush requests an Ack for all prior frames.
+	FrameFlush = 0x03
+	// FrameAck is the server's reply to FrameFlush.
+	FrameAck = 0x80
+
+	frameHeaderBytes = 5
+	ackBodyBytes     = 32
+	// frameMinBody is the smallest body a well-formed enroll/report frame
+	// carries (the user ID); MaxFrameBytes may not be configured below it.
+	frameMinBody = 8
+)
+
+// Ack is the server's flush reply: connection-lifetime counters. After an
+// Ack, every frame written before the flush has been applied to the
+// stream.
+type Ack struct {
+	Enrolled       uint64
+	EnrollRejected uint64
+	Reports        uint64
+	ReportRejected uint64
+}
+
+// ---------------------------------------------------------------------------
+// Client-side frame construction (used by lolohasim's load generator, the
+// examples and the tests; servers only read these).
+
+// AppendEnrollFrame appends an enroll frame for userID to dst.
+func AppendEnrollFrame(dst []byte, userID int, reg longitudinal.Registration) ([]byte, error) {
+	if userID < 0 {
+		return dst, fmt.Errorf("netserver: negative user ID %d not encodable", userID)
+	}
+	body := 8 + longitudinal.RegistrationWireSize(reg)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(body))
+	dst = append(dst, FrameEnroll)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(userID))
+	return longitudinal.AppendRegistration(dst, reg)
+}
+
+// AppendReportFrame appends a report frame for userID to dst. The payload
+// is the protocol's steady-state wire form (Report.AppendBinary /
+// AppendReporter.AppendReport bytes).
+//
+//loloha:noalloc
+func AppendReportFrame(dst []byte, userID int, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(8+len(payload)))
+	dst = append(dst, FrameReport)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(userID))
+	return append(dst, payload...)
+}
+
+// AppendFlushFrame appends a flush frame to dst.
+func AppendFlushFrame(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, 0)
+	return append(dst, FrameFlush)
+}
+
+// ReadAck reads one ack frame from r (as written by the server in reply
+// to a flush).
+func ReadAck(r io.Reader) (Ack, error) {
+	var b [frameHeaderBytes + ackBodyBytes]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return Ack{}, err
+	}
+	if n := binary.LittleEndian.Uint32(b[:4]); n != ackBodyBytes {
+		return Ack{}, fmt.Errorf("netserver: ack body %d bytes, want %d", n, ackBodyBytes)
+	}
+	if b[4] != FrameAck {
+		return Ack{}, fmt.Errorf("netserver: frame type 0x%02x, want ack", b[4])
+	}
+	return Ack{
+		Enrolled:       binary.LittleEndian.Uint64(b[5:]),
+		EnrollRejected: binary.LittleEndian.Uint64(b[13:]),
+		Reports:        binary.LittleEndian.Uint64(b[21:]),
+		ReportRejected: binary.LittleEndian.Uint64(b[29:]),
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Server-side connection loop.
+
+// tcpConn is one accepted raw-frame connection. The read loop owns all of
+// its state — one frame buffer, one buffered reader/writer, four counters
+// — so the steady state (report frame → Ingest) touches no shared memory
+// beyond the stream's shard and performs zero allocations per report.
+type tcpConn struct {
+	srv *Server
+	nc  net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	hdr [frameHeaderBytes]byte
+	buf []byte // reusable frame body, grown to the largest frame seen
+
+	enrolled       uint64
+	enrollRejected uint64
+	reports        uint64
+	reportRejected uint64
+}
+
+func newTCPConn(s *Server, nc net.Conn) *tcpConn {
+	return &tcpConn{
+		srv: s,
+		nc:  nc,
+		br:  bufio.NewReaderSize(nc, 64<<10),
+		bw:  bufio.NewWriterSize(nc, 1<<10),
+	}
+}
+
+// serve runs the read loop until EOF, a read error, or a protocol error.
+func (c *tcpConn) serve() {
+	defer func() {
+		c.srv.tcpReports.Add(c.reports)
+		c.srv.tcpRejected.Add(c.enrollRejected + c.reportRejected)
+	}()
+	for {
+		typ, body, err := c.readFrame()
+		if err != nil {
+			return // EOF (clean close), read error, or oversize frame
+		}
+		switch typ {
+		case FrameReport:
+			c.handleReport(body)
+		case FrameEnroll:
+			c.handleEnroll(body)
+		case FrameFlush:
+			if err := c.writeAck(); err != nil {
+				return
+			}
+		default:
+			return // unknown frame type: protocol error, drop the conn
+		}
+	}
+}
+
+// readFrame reads one frame into the connection's reusable buffer. The
+// returned body aliases c.buf and is valid until the next call. The
+// length is validated against MaxFrameBytes before any allocation sized
+// by it.
+//
+//loloha:noalloc
+func (c *tcpConn) readFrame() (byte, []byte, error) {
+	if _, err := io.ReadFull(c.br, c.hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(c.hdr[:4]))
+	if n > c.srv.maxFrame {
+		return 0, nil, fmt.Errorf("netserver: frame body %d bytes exceeds limit %d", n, c.srv.maxFrame)
+	}
+	if cap(c.buf) < n {
+		//loloha:alloc-ok amortized frame-buffer growth, bounded by MaxFrameBytes
+		c.buf = make([]byte, n)
+	}
+	body := c.buf[:n]
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return 0, nil, err
+	}
+	return c.hdr[4], body, nil
+}
+
+// handleReport applies one report frame: parse the user ID, tally the
+// payload. This is the decode→tally hot path of the daemon — zero
+// allocations per report in the steady state (rejections may allocate
+// their error, which the server drops after counting).
+//
+//loloha:noalloc
+func (c *tcpConn) handleReport(body []byte) {
+	if len(body) < 8 {
+		c.reportRejected++
+		return
+	}
+	id := binary.LittleEndian.Uint64(body)
+	if id > math.MaxInt {
+		c.reportRejected++
+		return
+	}
+	if err := c.srv.stream.Ingest(int(id), body[8:]); err != nil {
+		c.reportRejected++
+		return
+	}
+	c.reports++
+}
+
+// handleEnroll applies one enroll frame. Enrollment is one-time per user
+// (cold), so this path may allocate (DecodeRegistration copies the
+// sampled buckets out of the frame buffer, which the next frame
+// overwrites).
+func (c *tcpConn) handleEnroll(body []byte) {
+	if len(body) < 8 {
+		c.enrollRejected++
+		return
+	}
+	id := binary.LittleEndian.Uint64(body)
+	if id > math.MaxInt {
+		c.enrollRejected++
+		return
+	}
+	reg, rest, err := longitudinal.DecodeRegistration(body[8:])
+	if err != nil || len(rest) != 0 {
+		c.enrollRejected++
+		return
+	}
+	if err := c.srv.stream.Enroll(int(id), reg); err != nil {
+		c.enrollRejected++
+		return
+	}
+	c.enrolled++
+}
+
+// writeAck replies to a flush with the connection's counters.
+func (c *tcpConn) writeAck() error {
+	var b [frameHeaderBytes + ackBodyBytes]byte
+	binary.LittleEndian.PutUint32(b[:4], ackBodyBytes)
+	b[4] = FrameAck
+	binary.LittleEndian.PutUint64(b[5:], c.enrolled)
+	binary.LittleEndian.PutUint64(b[13:], c.enrollRejected)
+	binary.LittleEndian.PutUint64(b[21:], c.reports)
+	binary.LittleEndian.PutUint64(b[29:], c.reportRejected)
+	if _, err := c.bw.Write(b[:]); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}

@@ -1,0 +1,300 @@
+package netserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/loloha-ldp/loloha/internal/heavyhitter"
+	"github.com/loloha-ldp/loloha/internal/longitudinal"
+	"github.com/loloha-ldp/loloha/internal/server"
+)
+
+// HTTP API. All bodies are JSON except /v1/reports, whose binary batch
+// format (AppendBatchRecord) exists so the hot path stays hot: JSON
+// would cost a parse and an allocation per report.
+//
+//	POST /v1/enroll       {"user_id":7,"hash_seed":9,"sampled":[1,2]}
+//	POST /v1/reports      binary batch body → {"received":N,"rejected":M}
+//	POST /v1/round/close  → RoundResult of the closed round
+//	GET  /v1/rounds/{t}   → RoundResult of round t
+//	GET  /v1/status       → daemon + stream counters and the protocol spec
+//	GET  /v1/stream       → text/event-stream of RoundResults
+//	GET  /                → embedded live dashboard
+
+// enrollRequest is the JSON enrollment body; HashSeed and Sampled mirror
+// longitudinal.Registration.
+type enrollRequest struct {
+	UserID   int    `json:"user_id"`
+	HashSeed uint64 `json:"hash_seed"`
+	Sampled  []int  `json:"sampled,omitempty"`
+}
+
+// roundJSON is the wire form of a RoundResult.
+type roundJSON struct {
+	Round        int                  `json:"round"`
+	Reports      int                  `json:"reports"`
+	Raw          []float64            `json:"raw"`
+	Estimates    []float64            `json:"estimates"`
+	HeavyHitters []heavyhitter.Hitter `json:"heavy_hitters,omitempty"`
+}
+
+func toRoundJSON(r server.RoundResult) roundJSON {
+	return roundJSON{
+		Round:        r.Round,
+		Reports:      r.Reports,
+		Raw:          r.Raw,
+		Estimates:    r.Estimates,
+		HeavyHitters: r.HeavyHitters,
+	}
+}
+
+// statusJSON is the /v1/status body.
+type statusJSON struct {
+	Protocol      string                     `json:"protocol"`
+	Spec          *longitudinal.ProtocolSpec `json:"spec,omitempty"`
+	Enrolled      int                        `json:"enrolled"`
+	Rounds        int                        `json:"rounds"`
+	Pending       int                        `json:"pending"`
+	Shards        int                        `json:"shards"`
+	UptimeSeconds float64                    `json:"uptime_seconds"`
+	TCP           ingestStatsJSON            `json:"tcp"`
+	HTTP          httpStatsJSON              `json:"http"`
+	SSE           sseStatsJSON               `json:"sse"`
+}
+
+type ingestStatsJSON struct {
+	LiveConns  int64  `json:"live_conns"`
+	TotalConns uint64 `json:"total_conns"`
+	Reports    uint64 `json:"reports"`
+	Rejected   uint64 `json:"rejected"`
+}
+
+type httpStatsJSON struct {
+	Batches  uint64 `json:"batches"`
+	Reports  uint64 `json:"reports"`
+	Rejected uint64 `json:"rejected"`
+}
+
+type sseStatsJSON struct {
+	Clients       int    `json:"clients"`
+	DroppedRounds uint64 `json:"dropped_rounds"`
+}
+
+func (s *Server) newMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/enroll", s.handleEnroll)
+	mux.HandleFunc("POST /v1/reports", s.handleReports)
+	mux.HandleFunc("POST /v1/round/close", s.handleRoundClose)
+	mux.HandleFunc("GET /v1/rounds/{t}", s.handleRound)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/stream", s.handleStream)
+	mux.HandleFunc("GET /{$}", s.handleDashboard)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
+	var req enrollRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.UserID < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("netserver: negative user ID %d", req.UserID))
+		return
+	}
+	reg := longitudinal.Registration{HashSeed: req.HashSeed, Sampled: req.Sampled}
+	if err := s.stream.Enroll(req.UserID, reg); err != nil {
+		// Conflicting re-enrollment (or a cohort-owned ID) is the caller's
+		// bug, not the server's.
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
+	if r.ContentLength > int64(s.maxBatch) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("netserver: batch body %d bytes exceeds limit %d", r.ContentLength, s.maxBatch))
+		return
+	}
+	bb := batchPool.Get().(*batchBuffers)
+	defer putBatchBuffers(bb)
+	body, err := readBody(r, bb.body, s.maxBatch)
+	bb.body = body[:0]
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ids, payloads, err := decodeBatchBody(body, bb.ids, bb.payloads, s.maxFrame)
+	bb.ids, bb.payloads = ids, payloads
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ingestErr := s.stream.IngestBatch(ids, payloads)
+	rejected := countJoined(ingestErr)
+	s.httpBatches.Add(1)
+	s.httpReports.Add(uint64(len(ids) - rejected))
+	s.httpRejected.Add(uint64(rejected))
+	resp := map[string]any{"received": len(ids) - rejected, "rejected": rejected}
+	if ingestErr != nil {
+		resp["error"] = ingestErr.Error()
+	}
+	// Per-report rejections are data, not transport failure: the batch
+	// landed, so the status stays 200 and the counts tell the story.
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// readBody reads the request body into buf (reusing capacity). With a
+// declared Content-Length it reads exactly once into a right-sized
+// buffer; chunked bodies fall back to append-style reading capped at max.
+func readBody(r *http.Request, buf []byte, max int) ([]byte, error) {
+	if n := r.ContentLength; n >= 0 {
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(r.Body, buf); err != nil {
+			return nil, fmt.Errorf("netserver: short body: %w", err)
+		}
+		return buf, nil
+	}
+	buf = buf[:0]
+	lr := io.LimitReader(r.Body, int64(max)+1)
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := lr.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(buf) > max {
+		return nil, fmt.Errorf("netserver: batch body exceeds limit %d", max)
+	}
+	return buf, nil
+}
+
+// countJoined counts the sub-errors of an errors.Join result (IngestBatch
+// joins one error per rejected report).
+func countJoined(err error) int {
+	if err == nil {
+		return 0
+	}
+	var multi interface{ Unwrap() []error }
+	if errors.As(err, &multi) {
+		return len(multi.Unwrap())
+	}
+	return 1
+}
+
+func (s *Server) handleRoundClose(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, toRoundJSON(s.stream.CloseRound()))
+}
+
+func (s *Server) handleRound(w http.ResponseWriter, r *http.Request) {
+	t, err := strconv.Atoi(r.PathValue("t"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("netserver: bad round index %q", r.PathValue("t")))
+		return
+	}
+	res, err := s.stream.Round(t)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toRoundJSON(res))
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	proto := s.stream.Protocol()
+	st := statusJSON{
+		Protocol:      proto.Name(),
+		Enrolled:      s.stream.Enrolled(),
+		Rounds:        s.stream.Rounds(),
+		Pending:       s.stream.Pending(),
+		Shards:        s.stream.Shards(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		TCP: ingestStatsJSON{
+			LiveConns:  s.tcpLive.Load(),
+			TotalConns: s.tcpTotal.Load(),
+			Reports:    s.tcpReports.Load(),
+			Rejected:   s.tcpRejected.Load(),
+		},
+		HTTP: httpStatsJSON{
+			Batches:  s.httpBatches.Load(),
+			Reports:  s.httpReports.Load(),
+			Rejected: s.httpRejected.Load(),
+		},
+	}
+	if spec, ok := longitudinal.SpecOf(proto); ok {
+		st.Spec = &spec
+	}
+	st.SSE.Clients, st.SSE.DroppedRounds = s.hub.stats()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleStream serves the SSE round feed: one `event: round` per
+// published RoundResult, JSON data. A client that cannot keep up misses
+// rounds (hub drop policy) and can detect the gap from the round indices.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("netserver: response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	cl := s.hub.add()
+	defer s.hub.remove(cl)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case res, ok := <-cl.ch:
+			if !ok {
+				return // hub shut down
+			}
+			if _, err := io.WriteString(w, "event: round\ndata: "); err != nil {
+				return
+			}
+			if err := enc.Encode(toRoundJSON(res)); err != nil {
+				return
+			}
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			return
+		}
+	}
+}

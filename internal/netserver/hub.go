@@ -1,0 +1,101 @@
+package netserver
+
+import (
+	"sync"
+
+	"github.com/loloha-ldp/loloha/internal/server"
+)
+
+// hub fans published rounds out to SSE clients. It mirrors the Stream's
+// own subscriber contract one level up: every client has a buffered
+// channel, and the explicit slow-subscriber policy is DROP, never block —
+// a client whose buffer is full when a round arrives misses that round
+// (each RoundResult carries its Round index, so the browser can detect
+// the gap and backfill over /v1/rounds/{t}). A hub must never stall: it
+// sits between Stream.Subscribe and N remote sockets of arbitrary speed,
+// and one stalled socket must not delay the rest of the fan-out.
+type hub struct {
+	capacity int
+
+	mu      sync.Mutex
+	clients map[*hubClient]struct{}
+	dropped uint64
+	closed  bool
+}
+
+// hubClient is one SSE subscriber; ch closes when the client is removed
+// or the hub shuts down.
+type hubClient struct {
+	ch chan server.RoundResult
+}
+
+func newHub(capacity int) *hub {
+	return &hub{capacity: capacity, clients: map[*hubClient]struct{}{}}
+}
+
+// add registers a new client. After closeAll it returns a client whose
+// channel is already closed (the Subscribe-after-Close semantics of the
+// stream itself).
+func (h *hub) add() *hubClient {
+	cl := &hubClient{ch: make(chan server.RoundResult, h.capacity)}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		close(cl.ch)
+		return cl
+	}
+	h.clients[cl] = struct{}{}
+	return cl
+}
+
+// remove unregisters a client and closes its channel. Closing under the
+// hub lock is what makes the occupancy-guarded send in broadcast safe:
+// no send can race the close.
+func (h *hub) remove(cl *hubClient) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.clients[cl]; !ok {
+		return
+	}
+	delete(h.clients, cl)
+	close(cl.ch)
+}
+
+// broadcast delivers one round to every client that has buffer space;
+// full clients drop the round and the hub counts the drop.
+func (h *hub) broadcast(res server.RoundResult) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for cl := range h.clients {
+		// Occupancy-guarded send (the lockorder-pinned pattern): the hub
+		// is the only sender and holds h.mu, so a full buffer can only
+		// drain — never refill — between the check and the send.
+		if len(cl.ch) == cap(cl.ch) {
+			h.dropped++
+			continue
+		}
+		cl.ch <- res
+	}
+}
+
+// closeAll shuts the hub down: every client channel closes and later add
+// calls return closed channels. Idempotent.
+func (h *hub) closeAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for cl := range h.clients {
+		close(cl.ch)
+	}
+	clear(h.clients)
+}
+
+// stats returns the live client count and cumulative dropped deliveries.
+func (h *hub) stats() (clients int, dropped uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.clients), h.dropped
+}

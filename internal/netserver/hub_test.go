@@ -1,0 +1,61 @@
+package netserver
+
+import (
+	"testing"
+
+	"github.com/loloha-ldp/loloha/internal/server"
+)
+
+// The hub's slow-subscriber contract: a client whose buffer is full when a
+// round is broadcast misses that round — the hub never blocks — and the
+// drop is counted.
+func TestHubDropPolicy(t *testing.T) {
+	h := newHub(1)
+	cl := h.add()
+	for round := 0; round < 3; round++ {
+		h.broadcast(server.RoundResult{Round: round})
+	}
+	if got := <-cl.ch; got.Round != 0 {
+		t.Fatalf("buffered round = %d, want 0", got.Round)
+	}
+	select {
+	case got := <-cl.ch:
+		t.Fatalf("unexpected buffered round %d; rounds 1 and 2 should have dropped", got.Round)
+	default:
+	}
+	if clients, dropped := h.stats(); clients != 1 || dropped != 2 {
+		t.Fatalf("stats = (%d clients, %d dropped), want (1, 2)", clients, dropped)
+	}
+
+	// With buffer space again, delivery resumes: the gap is visible to the
+	// client as non-consecutive Round indices.
+	h.broadcast(server.RoundResult{Round: 3})
+	if got := <-cl.ch; got.Round != 3 {
+		t.Fatalf("post-drop round = %d, want 3", got.Round)
+	}
+
+	h.remove(cl)
+	if _, ok := <-cl.ch; ok {
+		t.Fatal("removed client's channel still open")
+	}
+	h.remove(cl) // idempotent
+	h.broadcast(server.RoundResult{Round: 4})
+	if clients, _ := h.stats(); clients != 0 {
+		t.Fatalf("clients after remove = %d, want 0", clients)
+	}
+}
+
+func TestHubAddAfterClose(t *testing.T) {
+	h := newHub(4)
+	before := h.add()
+	h.closeAll()
+	h.closeAll() // idempotent
+	if _, ok := <-before.ch; ok {
+		t.Fatal("closeAll left a client channel open")
+	}
+	after := h.add()
+	if _, ok := <-after.ch; ok {
+		t.Fatal("add after closeAll returned an open channel")
+	}
+	h.broadcast(server.RoundResult{}) // must not panic or deliver
+}

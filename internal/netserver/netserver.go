@@ -1,0 +1,278 @@
+// Package netserver is the networked collection daemon engine: it fronts
+// a server.Stream with real sockets so "millions of users" means remote
+// processes, not in-process function calls.
+//
+// Two ingestion fronts share one Stream:
+//
+//   - HTTP: JSON enrollment (POST /v1/enroll), binary batched report
+//     ingestion (POST /v1/reports, the batch-record format of
+//     AppendBatchRecord feeding Stream.IngestBatch), round control
+//     (POST /v1/round/close), history and status reads, and a live
+//     Server-Sent-Events round stream (GET /v1/stream) behind a hub with
+//     per-client buffered channels and an explicit slow-subscriber drop
+//     policy. GET / serves a minimal embedded dashboard.
+//
+//   - Raw TCP: length-prefixed frames (see frame.go) carrying the
+//     existing wire formats — longitudinal.AppendRegistration for
+//     enrollment, Report.AppendBinary payloads for reports — decoded in a
+//     per-connection read loop whose steady state reuses one frame buffer
+//     and tallies through Stream.Ingest at zero allocations per report,
+//     so the PR 3/5 zero-alloc property survives the socket boundary.
+//
+// Estimates are bit-identical to ingesting the same payloads in-process:
+// the daemon adds transport, never arithmetic (pinned by the parity tests
+// in e2e_test.go).
+package netserver
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/loloha-ldp/loloha/internal/server"
+)
+
+// Config parameterizes a daemon engine.
+type Config struct {
+	// Stream is the collection service to front. Required; the caller
+	// retains ownership (the daemon never calls Stream.Close).
+	Stream *server.Stream
+	// MaxFrameBytes bounds a TCP frame body and an HTTP batch record's
+	// payload; oversize frames kill the connection before any allocation
+	// sized by the hostile length. Default 1 MiB.
+	MaxFrameBytes int
+	// MaxBatchBytes bounds an HTTP /v1/reports body. Default 8 MiB.
+	MaxBatchBytes int
+	// RoundEvery, when positive, closes the round on this period whenever
+	// reports are pending (empty rounds are not published). Zero means
+	// rounds close only via POST /v1/round/close or the owning process.
+	RoundEvery time.Duration
+	// SSECapacity is each SSE client's buffered round count; a client
+	// whose buffer is full when a round is published drops that round
+	// (the hub mirrors Stream's WithRoundCapacity drop-not-block policy).
+	// Default 16.
+	SSECapacity int
+}
+
+// Server is the daemon engine: listeners, connection registry, SSE hub
+// and round timer around one server.Stream. Create with New, attach
+// listeners with ServeTCP/ServeHTTP (or mount Handler in a test server),
+// stop with Close.
+type Server struct {
+	stream    *server.Stream
+	maxFrame  int
+	maxBatch  int
+	hub       *hub
+	mux       *http.ServeMux
+	roundTick time.Duration
+	started   time.Time
+
+	// Live counters, all monotonic except tcpLive.
+	tcpTotal     atomic.Uint64
+	tcpLive      atomic.Int64
+	tcpReports   atomic.Uint64
+	tcpRejected  atomic.Uint64
+	httpBatches  atomic.Uint64
+	httpReports  atomic.Uint64
+	httpRejected atomic.Uint64
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	conns     map[net.Conn]struct{}
+	closed    bool
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New returns an engine fronting cfg.Stream. The SSE hub subscribes to
+// the stream immediately, so rounds closed before any listener is
+// attached still reach later SSE clients' history via /v1/rounds.
+func New(cfg Config) (*Server, error) {
+	if cfg.Stream == nil {
+		return nil, fmt.Errorf("netserver: nil Stream")
+	}
+	if cfg.MaxFrameBytes == 0 {
+		cfg.MaxFrameBytes = 1 << 20
+	}
+	if cfg.MaxFrameBytes < frameMinBody {
+		return nil, fmt.Errorf("netserver: MaxFrameBytes %d below minimum frame body %d",
+			cfg.MaxFrameBytes, frameMinBody)
+	}
+	if cfg.MaxBatchBytes == 0 {
+		cfg.MaxBatchBytes = 8 << 20
+	}
+	if cfg.SSECapacity == 0 {
+		cfg.SSECapacity = 16
+	}
+	if cfg.SSECapacity < 1 {
+		return nil, fmt.Errorf("netserver: SSECapacity must be at least 1, got %d", cfg.SSECapacity)
+	}
+	s := &Server{
+		stream:    cfg.Stream,
+		maxFrame:  cfg.MaxFrameBytes,
+		maxBatch:  cfg.MaxBatchBytes,
+		hub:       newHub(cfg.SSECapacity),
+		roundTick: cfg.RoundEvery,
+		started:   time.Now(),
+		conns:     map[net.Conn]struct{}{},
+		done:      make(chan struct{}),
+	}
+	s.mux = s.newMux()
+	s.wg.Add(1)
+	go s.forwardRounds()
+	if s.roundTick > 0 {
+		s.wg.Add(1)
+		go s.roundTimer()
+	}
+	return s, nil
+}
+
+// Stream returns the fronted collection service.
+func (s *Server) Stream() *server.Stream { return s.stream }
+
+// forwardRounds pumps every published RoundResult into the SSE hub until
+// the stream or the server closes.
+func (s *Server) forwardRounds() {
+	defer s.wg.Done()
+	sub := s.stream.Subscribe()
+	for {
+		select {
+		case res, ok := <-sub:
+			if !ok {
+				s.hub.closeAll()
+				return
+			}
+			s.hub.broadcast(res)
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// roundTimer closes the round every RoundEvery while reports are pending.
+func (s *Server) roundTimer() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.roundTick)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if s.stream.Pending() > 0 {
+				s.stream.CloseRound()
+			}
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// ServeTCP accepts raw-frame connections on l until l or the server
+// closes. It blocks; run it in a goroutine. The listener is closed by
+// Server.Close.
+func (s *Server) ServeTCP(l net.Listener) error {
+	if !s.track(l) {
+		l.Close()
+		return fmt.Errorf("netserver: server closed")
+	}
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return nil // closed by Close; not an error
+			default:
+				return err
+			}
+		}
+		if !s.trackConn(nc) {
+			nc.Close()
+			return nil
+		}
+		s.tcpTotal.Add(1)
+		s.tcpLive.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrackConn(nc)
+			defer s.tcpLive.Add(-1)
+			newTCPConn(s, nc).serve()
+		}()
+	}
+}
+
+// ServeHTTP serves the daemon's HTTP API on l until l or the server
+// closes. It blocks; run it in a goroutine.
+func (s *Server) ServeHTTP(l net.Listener) error {
+	if !s.track(l) {
+		l.Close()
+		return fmt.Errorf("netserver: server closed")
+	}
+	srv := &http.Server{Handler: s.mux}
+	err := srv.Serve(l)
+	select {
+	case <-s.done:
+		return nil
+	default:
+		return err
+	}
+}
+
+// Handler exposes the HTTP API for tests and embedding (httptest.Server,
+// custom TLS fronting, an existing mux).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// track registers a listener; false when the server is already closed.
+func (s *Server) track(l net.Listener) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.listeners = append(s.listeners, l)
+	return true
+}
+
+func (s *Server) trackConn(nc net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[nc] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackConn(nc net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, nc)
+	nc.Close()
+}
+
+// Close stops the daemon: listeners and live connections close, the round
+// timer and hub forwarding stop, and every SSE client's channel closes.
+// The fronted Stream is left open — rounds already published stay
+// readable and the owner may keep ingesting in-process. Close is
+// idempotent and waits for connection goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.done)
+	for _, l := range s.listeners {
+		l.Close()
+	}
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.hub.closeAll()
+	return nil
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package netserver
+
+// raceEnabled mirrors the root package's build-tag pair: allocation
+// assertions are meaningless under the race detector's instrumentation,
+// so alloc-pinning tests skip when it is on.
+const raceEnabled = false

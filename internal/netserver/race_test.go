@@ -1,0 +1,7 @@
+//go:build race
+
+package netserver
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// alloc-pinning tests skip.
+const raceEnabled = true

@@ -62,6 +62,7 @@ type Stream struct {
 	results  []RoundResult
 	subs     []chan RoundResult
 	roundCap int
+	dropped  uint64
 	closed   bool
 
 	// Simulation cohort (nil unless WithCohort).
@@ -166,9 +167,17 @@ func WithHeavyHitters(cfg heavyhitter.Config) Option {
 	return func(c *streamConfig) { c.hh = &cfg }
 }
 
-// WithRoundCapacity sets the buffer of each Subscribe channel: how many
-// unconsumed rounds a subscriber may lag before it starts missing rounds
-// (default 16). Must be at least 1.
+// WithRoundCapacity sets the buffer of each Subscribe channel (default
+// 16). Must be at least 1.
+//
+// The buffer is the whole backpressure contract: publication NEVER blocks
+// on a subscriber. A subscriber that has n unconsumed rounds buffered when
+// CloseRound publishes the next one does not receive that round — it is
+// dropped for that subscriber only (drop, not block). Every delivered
+// RoundResult carries its Round index, so gaps are detectable, Round(t)
+// backfills any missed round from the history, and DroppedRounds counts
+// drops across all subscribers. TestStreamSlowSubscriberDropPolicy pins
+// this behavior.
 func WithRoundCapacity(n int) Option {
 	return func(c *streamConfig) { c.roundCap = n }
 }
@@ -701,6 +710,7 @@ func (s *Stream) closeRoundLocked(extraReports int) RoundResult {
 			// checking occupancy first skips the clone a select would
 			// evaluate and then drop.
 			if len(sub) == cap(sub) {
+				s.dropped++
 				continue
 			}
 			sub <- res.clone()
@@ -712,7 +722,9 @@ func (s *Stream) closeRoundLocked(extraReports int) RoundResult {
 // Subscribe returns a channel receiving every subsequently published
 // RoundResult. The channel is buffered (WithRoundCapacity); when the
 // buffer is full the subscriber misses rounds instead of blocking
-// CloseRound. Close closes all subscription channels.
+// CloseRound — the explicit slow-subscriber policy is drop, never block
+// (see WithRoundCapacity). Close closes all subscription channels; after
+// Close, Subscribe returns an already-closed channel.
 func (s *Stream) Subscribe() <-chan RoundResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -770,4 +782,31 @@ func (s *Stream) Enrolled() int {
 		sh.mu.Unlock()
 	}
 	return total
+}
+
+// Pending returns the number of reports tallied into the currently open
+// round (excluding cohort reports, which close their round in the same
+// call). A daemon closing rounds on a timer uses it to skip publishing
+// empty rounds.
+func (s *Stream) Pending() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += sh.tallied
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// DroppedRounds returns the total number of round deliveries skipped
+// because a subscriber's buffer was full (summed over all subscribers; a
+// round missed by three subscribers counts three). It makes the drop
+// policy of WithRoundCapacity observable without instrumenting every
+// subscriber.
+func (s *Stream) DroppedRounds() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dropped
 }

@@ -1,6 +1,6 @@
 // Package lockorder enforces the server's lock discipline (the PR 2/3
 // decode-outside-lock design) inside packages whose import path ends in
-// internal/server:
+// internal/server or internal/netserver:
 //
 //   - No Decoder.Decode call while a sync.Mutex (shard lock) or an
 //     exclusively held sync.RWMutex is held. Decoding under the shared
@@ -44,8 +44,11 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// scope is the import-path suffix the discipline applies to.
-const scope = "internal/server"
+// scopes are the import-path suffixes the discipline applies to: the
+// collection engine and the network daemon fronting it (whose SSE hub
+// must follow the same occupancy-guarded-send rule as the round
+// publisher).
+var scopes = []string{"internal/server", "internal/netserver"}
 
 type lockKind int
 
@@ -88,7 +91,14 @@ func (ls lockSet) anyExclusive() (string, bool) {
 
 func run(pass *analysis.Pass) error {
 	path := pass.Pkg.Path()
-	if path != scope && !strings.HasSuffix(path, "/"+scope) {
+	inScope := false
+	for _, scope := range scopes {
+		if path == scope || strings.HasSuffix(path, "/"+scope) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
 		return nil
 	}
 	ix := annot.NewIndex(pass.Fset, pass.Files)

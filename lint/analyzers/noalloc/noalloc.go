@@ -60,6 +60,10 @@ var trustTable = []trustRule{
 	// errors.Join allocates only when at least one error is non-nil, i.e.
 	// only off the steady path.
 	{"errors", "", "Join"},
+	// io.ReadFull fills a caller buffer; any allocation belongs to the
+	// underlying Reader (the netserver read loop hands it a bufio.Reader
+	// with a fixed buffer, vetted by the frame-path AllocsPerRun pin).
+	{"io", "", "ReadFull"},
 	// Lock/pool operations; Pool.Get is the amortized scratch contract.
 	{"sync", "Mutex", "*"},
 	{"sync", "RWMutex", "*"},
@@ -132,6 +136,9 @@ var trustTable = []trustRule{
 	// core's annotated surface, for the server package.
 	{"internal/core", "Aggregator", "AddReport"},
 	{"internal/core", "Client", "AppendReport"},
+	// server's annotated ingestion surface, for the netserver frame loop.
+	{"internal/server", "Stream", "Ingest"},
+	{"internal/server", "Stream", "IngestBatch"},
 }
 
 func pkgMatch(path, want string) bool {

@@ -205,9 +205,11 @@ func WithPostProcess(m PostProcess) StreamOption { return server.WithPostProcess
 // set. cfg.K defaults to the protocol's estimate domain.
 func WithHeavyHitters(cfg HeavyHitterConfig) StreamOption { return server.WithHeavyHitters(cfg) }
 
-// WithRoundCapacity sets each Subscribe channel's buffer: how many
-// unconsumed rounds a subscriber may lag before missing rounds
-// (default 16).
+// WithRoundCapacity sets each Subscribe channel's buffer (default 16).
+// The backpressure policy is explicit: publication never blocks on a
+// subscriber — a subscriber whose buffer is full when a round is published
+// drops that round (detectable via RoundResult.Round gaps, recoverable via
+// Stream.Round, counted by Stream.DroppedRounds).
 func WithRoundCapacity(n int) StreamOption { return server.WithRoundCapacity(n) }
 
 // WithCohort attaches n in-process simulation clients (seeded
