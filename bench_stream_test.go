@@ -30,7 +30,7 @@ func BenchmarkIngestPath(b *testing.B) {
 		workers = 4 // still measures lock contention on small boxes
 	}
 	type seeded interface{ HashSeed() uint64 }
-	for _, shards := range []int{1, 8} {
+	for _, shards := range []int{1, 2, 4, 8} {
 		for _, tally := range []bool{false, true} {
 			proto, err := loloha.NewBiLOLOHA(k, 2, 1)
 			if err != nil {
@@ -101,5 +101,84 @@ func BenchmarkIngestPath(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkIngestColumnar measures the columnar fast path against the
+// same workload as BenchmarkIngestPath's tally/batch rows: each worker
+// owns a block of pre-encoded columnar batches and replays decode →
+// IngestColumnar every round, the shape of a daemon draining FrameColumnar
+// bodies. Compare against tally-batch at equal shard counts for the
+// per-report-framing speedup.
+//
+//	go test -run xxx -bench 'IngestColumnar' -benchmem .
+func BenchmarkIngestColumnar(b *testing.B) {
+	const k, n, batchSize = 64, 50_000, 4096
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	type seeded interface{ HashSeed() uint64 }
+	for _, shards := range []int{1, 2, 4, 8} {
+		proto, err := loloha.NewBiLOLOHA(k, 2, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream, err := loloha.NewStream(proto, loloha.WithShards(shards))
+		if err != nil {
+			b.Fatal(err)
+		}
+		stride, ok := loloha.ColumnarStrideOf(proto)
+		if !ok {
+			b.Fatal("protocol has no columnar stride")
+		}
+		w, err := loloha.NewColumnarWriter(loloha.SpecHashOf(proto), stride)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// One encoded batch per batchSize block of users, partitioned over
+		// the workers below.
+		var encoded [][]byte
+		for u := 0; u < n; u++ {
+			cl := proto.NewClient(uint64(u))
+			if err := stream.Enroll(u, loloha.Registration{HashSeed: cl.(seeded).HashSeed()}); err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Add(u, cl.Report(u%k).AppendBinary(nil)); err != nil {
+				b.Fatal(err)
+			}
+			if w.Count() == batchSize || u == n-1 {
+				encoded = append(encoded, w.AppendTo(nil))
+				w.Reset()
+			}
+		}
+		ingestRound := func(b *testing.B) {
+			var wg sync.WaitGroup
+			for wk := 0; wk < workers; wk++ {
+				wg.Add(1)
+				go func(wk int) {
+					defer wg.Done()
+					var batch loloha.ColumnarBatch
+					for i := wk; i < len(encoded); i += workers {
+						if err := loloha.DecodeColumnar(encoded[i], &batch); err != nil {
+							b.Error(err)
+							return
+						}
+						if err := stream.IngestColumnar(&batch); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(wk)
+			}
+			wg.Wait()
+			benchSink = stream.CloseRound()
+		}
+		b.Run(fmt.Sprintf("columnar/shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ingestRound(b)
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+		})
 	}
 }

@@ -5,6 +5,8 @@
 //	lolohadata -dataset adult -hist          # marginal histogram sketch
 //	lolohadata -dataset db_mt -export x.csv  # dump user×round value matrix
 //	lolohadata -dataset syn -specs s.json    # dataset's standard ProtocolSpecs
+//	lolohadata -dataset syn -columnar DIR \
+//	  -spec '{"family":"BiLOLOHA","k":360,"eps_inf":2,"eps1":1}'  # columnar round files
 //
 // The -specs output is the declarative §5.1 protocol set for the dataset
 // (bucket counts and all), ready for `lolohasim fig3 -spec s.json`.
@@ -41,6 +43,8 @@ func run() error {
 		hist     = flag.Bool("hist", false, "print a sketch of the round-0 marginal")
 		export   = flag.String("export", "", "write the value matrix as CSV to this path")
 		specsOut = flag.String("specs", "", "write the dataset's standard ProtocolSpec list (JSON) to this path, for lolohasim -spec")
+		colDir   = flag.String("columnar", "", "write one columnar batch file per round into this directory (requires -spec)")
+		specJSON = flag.String("spec", "", "ProtocolSpec JSON the -columnar export encodes reports for")
 	)
 	flag.Parse()
 
@@ -50,6 +54,12 @@ func run() error {
 	}
 	if *specsOut != "" && len(names) != 1 {
 		return fmt.Errorf("-specs needs a single -dataset (the spec shape is per dataset)")
+	}
+	if (*colDir == "") != (*specJSON == "") {
+		return fmt.Errorf("-columnar and -spec go together: the round files encode reports for one protocol")
+	}
+	if *colDir != "" && len(names) != 1 {
+		return fmt.Errorf("-columnar needs a single -dataset")
 	}
 	for _, n := range names {
 		ds, err := datasets.ByName(n, uint64(*seed))
@@ -71,8 +81,35 @@ func run() error {
 			}
 			fmt.Printf("protocol specs written to %s\n", *specsOut)
 		}
+		if *colDir != "" {
+			files, err := exportColumnar(ds, *specJSON, uint64(*seed), *colDir)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%d columnar round files written to %s\n", files, *colDir)
+		}
 	}
 	return nil
+}
+
+// exportColumnar materializes the dataset as columnar round files for the
+// protocol described by specJSON: round 0 carries the cohort's
+// registration columns, so a collection service replays the files without
+// separate enrollment. Returns the number of files written.
+func exportColumnar(ds *datasets.Dataset, specJSON string, seed uint64, dir string) (int, error) {
+	spec, err := longitudinal.ParseSpec([]byte(specJSON))
+	if err != nil {
+		return 0, fmt.Errorf("-spec: %w", err)
+	}
+	proto, err := spec.Build()
+	if err != nil {
+		return 0, fmt.Errorf("-spec: %w", err)
+	}
+	files, err := simulation.ExportColumnar(ds, proto, seed, dir)
+	if err != nil {
+		return 0, err
+	}
+	return len(files), nil
 }
 
 // exportSpecs writes the dataset's standard §5.1 protocol set as a JSON

@@ -3,11 +3,13 @@ package main
 // loadgen drives a running lolohad daemon with synthetic users: it reads
 // the daemon's protocol spec from /v1/status, builds the same protocol
 // locally, enrolls -users clients and pushes -rounds rounds of reports
-// over HTTP batch bodies or raw TCP frames.
+// over HTTP batch bodies, raw TCP frames, or (-columnar) columnar batches
+// on either transport.
 //
 //	lolohad -spec '{"family":"LOLOHA","k":100,"g":2,"eps_inf":2,"eps1":1}' -tcp :9090 &
 //	lolohasim loadgen -addr http://127.0.0.1:8080 -users 10000
 //	lolohasim loadgen -addr http://127.0.0.1:8080 -tcp 127.0.0.1:9090
+//	lolohasim loadgen -addr http://127.0.0.1:8080 -tcp 127.0.0.1:9090 -columnar
 
 import (
 	"bytes"
@@ -35,6 +37,7 @@ type loadgenOptions struct {
 	workers   int
 	seed      uint64
 	closeEach bool
+	columnar  bool
 }
 
 func loadgenCmd(args []string) error {
@@ -46,7 +49,8 @@ func loadgenCmd(args []string) error {
 	fs.IntVar(&o.users, "users", 10_000, "synthetic users to enroll")
 	fs.IntVar(&o.firstID, "firstid", 0, "first user ID (separate runs against one daemon need disjoint ID ranges)")
 	fs.IntVar(&o.rounds, "rounds", 5, "collection rounds to push")
-	fs.IntVar(&o.batch, "batch", 1024, "reports per HTTP batch body")
+	fs.IntVar(&o.batch, "batch", 1024, "reports per batch body (HTTP and columnar)")
+	fs.BoolVar(&o.columnar, "columnar", false, "push reports as columnar batches (columnar TCP frames / "+netserver.ContentTypeColumnar+" bodies)")
 	fs.IntVar(&o.workers, "workers", 0, "concurrent connections (0 = GOMAXPROCS)")
 	fs.Int64Var(&seed64, "seed", 42, "client randomness seed")
 	fs.BoolVar(&o.closeEach, "close", true, "close the daemon's round after each pushed round")
@@ -117,7 +121,9 @@ func loadgen(o loadgenOptions) error {
 				clients[i] = cl
 			}
 			var push pusher
-			if o.tcpAddr != "" {
+			if o.columnar {
+				push, res.err = newColumnarPusher(o, proto)
+			} else if o.tcpAddr != "" {
 				push, res.err = newTCPPusher(o.tcpAddr)
 			} else {
 				push, res.err = newHTTPPusher(o.addr, o.batch)
@@ -208,10 +214,14 @@ func stopWorkers(rounds []chan int) {
 }
 
 func transportName(o loadgenOptions) string {
+	name := o.addr
 	if o.tcpAddr != "" {
-		return "tcp://" + o.tcpAddr
+		name = "tcp://" + o.tcpAddr
 	}
-	return o.addr
+	if o.columnar {
+		name += " (columnar)"
+	}
+	return name
 }
 
 // discoverProtocol builds the daemon's protocol locally from the spec it
@@ -354,7 +364,18 @@ func (p *httpPusher) post() error {
 	if p.buffered == 0 {
 		return nil
 	}
-	resp, err := p.client.Post(p.base+"/v1/reports", "application/octet-stream", bytes.NewReader(p.body))
+	if err := p.postReports("application/octet-stream", p.body); err != nil {
+		return err
+	}
+	p.body = p.body[:0]
+	p.buffered = 0
+	return nil
+}
+
+// postReports POSTs one /v1/reports body of the given content type and
+// folds the daemon's accounting into the pusher's counters.
+func (p *httpPusher) postReports(contentType string, body []byte) error {
+	resp, err := p.client.Post(p.base+"/v1/reports", contentType, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -371,8 +392,6 @@ func (p *httpPusher) post() error {
 	}
 	p.sent += uint64(got.Received)
 	p.rejected += uint64(got.Rejected)
-	p.body = p.body[:0]
-	p.buffered = 0
 	return nil
 }
 
@@ -456,3 +475,105 @@ func (p *tcpPusher) flush() (uint64, uint64, error) {
 }
 
 func (p *tcpPusher) close() { p.conn.Close() }
+
+// ---------------------------------------------------------------------------
+// Columnar transport: enrollment rides the per-report paths (JSON or
+// enroll frames), reports ship as columnar batches — the daemon's
+// decode-free fast path.
+
+// newColumnarPusher wraps the transport selected by -tcp with a columnar
+// report encoder sized to -batch.
+func newColumnarPusher(o loadgenOptions, proto longitudinal.Protocol) (pusher, error) {
+	stride, ok := longitudinal.ColumnarStrideOf(proto)
+	if !ok {
+		return nil, fmt.Errorf("%s has no columnar tallier; drop -columnar", proto.Name())
+	}
+	w, err := longitudinal.NewColumnarWriter(longitudinal.SpecHashOf(proto), stride)
+	if err != nil {
+		return nil, err
+	}
+	if o.tcpAddr != "" {
+		inner, err := newTCPPusher(o.tcpAddr)
+		if err != nil {
+			return nil, err
+		}
+		return &tcpColumnarPusher{tcpPusher: inner.(*tcpPusher), w: w, batch: o.batch}, nil
+	}
+	inner, err := newHTTPPusher(o.addr, o.batch)
+	if err != nil {
+		return nil, err
+	}
+	return &httpColumnarPusher{httpPusher: inner.(*httpPusher), w: w}, nil
+}
+
+type httpColumnarPusher struct {
+	*httpPusher // JSON enrollment and /v1/reports accounting
+	w           *longitudinal.ColumnarWriter
+	enc         []byte
+}
+
+func (p *httpColumnarPusher) report(userID int, payload []byte) error {
+	if err := p.w.Add(userID, payload); err != nil {
+		return err
+	}
+	if p.w.Count() >= p.batch {
+		return p.post()
+	}
+	return nil
+}
+
+func (p *httpColumnarPusher) post() error {
+	if p.w.Count() == 0 {
+		return nil
+	}
+	p.enc = p.w.AppendTo(p.enc[:0])
+	p.w.Reset()
+	return p.postReports(netserver.ContentTypeColumnar, p.enc)
+}
+
+func (p *httpColumnarPusher) flush() (uint64, uint64, error) {
+	err := p.post()
+	sent, rejected := p.sent, p.rejected
+	p.sent, p.rejected = 0, 0
+	return sent, rejected, err
+}
+
+type tcpColumnarPusher struct {
+	*tcpPusher // enroll frames, flush barrier, ack accounting
+	w          *longitudinal.ColumnarWriter
+	batch      int
+	enc        []byte
+}
+
+func (p *tcpColumnarPusher) report(userID int, payload []byte) error {
+	if err := p.w.Add(userID, payload); err != nil {
+		return err
+	}
+	if p.w.Count() < p.batch {
+		return nil
+	}
+	return p.emit()
+}
+
+func (p *tcpColumnarPusher) emit() error {
+	if p.w.Count() == 0 {
+		return nil
+	}
+	p.enc = p.w.AppendTo(p.enc[:0])
+	p.w.Reset()
+	p.buf = netserver.AppendColumnarFrame(p.buf, p.enc)
+	if len(p.buf) >= 64<<10 {
+		if _, err := p.conn.Write(p.buf); err != nil {
+			return err
+		}
+		p.buf = p.buf[:0]
+	}
+	return nil
+}
+
+func (p *tcpColumnarPusher) flush() (uint64, uint64, error) {
+	if err := p.emit(); err != nil {
+		return 0, 0, err
+	}
+	return p.tcpPusher.flush()
+}

@@ -48,6 +48,30 @@ func (c *ChainUE) WireTallier() WireTallier { return ueWireTallier{k: c.k} }
 
 type ueWireTallier struct{ k int }
 
+var _ ColumnarTallier = ueWireTallier{}
+
+// PayloadStride implements ColumnarTallier.
+//
+//loloha:noalloc
+func (t ueWireTallier) PayloadStride() int { return freqoracle.UEPayloadBytes(t.k) }
+
+// TallyCell implements ColumnarTallier: the cell length is guaranteed by
+// the columnar contract; only the trailing-bit check remains per cell.
+//
+//loloha:noalloc
+func (t ueWireTallier) TallyCell(agg Aggregator, _ int, cell []byte, _ Registration) error {
+	a, ok := agg.(*chainUEAggregator)
+	if !ok || a.proto.k != t.k {
+		return fmt.Errorf("longitudinal: chained-UE tallier cannot tally into %T", agg)
+	}
+	if err := freqoracle.CheckUEPayload(cell, t.k); err != nil {
+		return err
+	}
+	freqoracle.AccumulateUEPayload(cell, t.k, a.counts)
+	a.n++
+	return nil
+}
+
 // TallyWire implements WireTallier: each set payload bit bumps one support
 // count straight from the payload bytes.
 //
@@ -72,6 +96,31 @@ func (t ueWireTallier) TallyWire(agg Aggregator, _ int, payload []byte, _ Regist
 func (m *LGRR) WireTallier() WireTallier { return grrWireTallier{k: m.k} }
 
 type grrWireTallier struct{ k int }
+
+var _ ColumnarTallier = grrWireTallier{}
+
+// PayloadStride implements ColumnarTallier.
+//
+//loloha:noalloc
+func (t grrWireTallier) PayloadStride() int { return freqoracle.GRRPayloadBytes(t.k) }
+
+// TallyCell implements ColumnarTallier: the scalar parse keeps its value
+// range check; the length check is hoisted to the batch decoder.
+//
+//loloha:noalloc
+func (t grrWireTallier) TallyCell(agg Aggregator, _ int, cell []byte, _ Registration) error {
+	a, ok := agg.(*lgrrAggregator)
+	if !ok || a.proto.k != t.k {
+		return fmt.Errorf("longitudinal: L-GRR tallier cannot tally into %T", agg)
+	}
+	x, err := freqoracle.ParseGRRPayload(cell, t.k)
+	if err != nil {
+		return err
+	}
+	a.counts[x]++
+	a.n++
+	return nil
+}
 
 // TallyWire implements WireTallier: parse the scalar value and bump its
 // count.
@@ -98,6 +147,41 @@ func (t grrWireTallier) TallyWire(agg Aggregator, _ int, payload []byte, _ Regis
 func (m *DBitFlipPM) WireTallier() WireTallier { return dbitWireTallier{proto: m} }
 
 type dbitWireTallier struct{ proto *DBitFlipPM }
+
+var _ ColumnarTallier = dbitWireTallier{}
+
+// PayloadStride implements ColumnarTallier.
+//
+//loloha:noalloc
+func (t dbitWireTallier) PayloadStride() int { return (t.proto.d + 7) / 8 }
+
+// TallyCell implements ColumnarTallier: the registration-shape checks
+// stay per cell (they depend on the user's enrollment, not the wire
+// framing); the payload length is guaranteed by the columnar contract.
+//
+//loloha:noalloc
+func (t dbitWireTallier) TallyCell(agg Aggregator, _ int, cell []byte, reg Registration) error {
+	a, ok := agg.(*dBitAggregator)
+	if !ok || a.proto != t.proto {
+		return fmt.Errorf("longitudinal: dBitFlipPM tallier cannot tally into %T", agg)
+	}
+	d := len(reg.Sampled)
+	if d == 0 {
+		return fmt.Errorf("longitudinal: user enrolled without sampled buckets")
+	}
+	if d != a.proto.d {
+		// Mirror TallyWire: an enrollment whose sampled-set size disagrees
+		// with the protocol is a programming error, not a malformed cell.
+		panic(fmt.Sprintf("longitudinal: dBitFlipPM report carries %d bits, want %d", d, a.proto.d))
+	}
+	for l, j := range reg.Sampled {
+		if cell[l/8]>>(uint(l)%8)&1 == 1 {
+			a.counts[j]++
+		}
+	}
+	a.n++
+	return nil
+}
 
 // TallyWire implements WireTallier: each set payload bit bumps the count
 // of the user's enrolled sampled bucket at that slot, straight from the

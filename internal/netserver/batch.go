@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+
+	"github.com/loloha-ldp/loloha/internal/longitudinal"
 )
 
 // HTTP batch-body format for POST /v1/reports: a concatenation of
@@ -19,6 +21,12 @@ import (
 // shard per batch. Request-scoped working memory (body buffer, ID and
 // payload slices) is pooled, so steady-state batches allocate nothing in
 // the decode→tally path.
+
+// ContentTypeColumnar selects the columnar body format on POST
+// /v1/reports: the body is one longitudinal columnar batch
+// (ColumnarWriter.AppendTo bytes) instead of per-report records. Any
+// other content type selects the record format below.
+const ContentTypeColumnar = "application/x-loloha-columnar"
 
 // AppendBatchRecord appends one report record to a batch body under
 // construction. Clients build a body with repeated calls and POST it to
@@ -78,6 +86,9 @@ type batchBuffers struct {
 	body     []byte
 	ids      []int
 	payloads [][]byte
+	// col is the columnar decode target (ContentTypeColumnar requests);
+	// its column slices are reused across requests like ids/payloads.
+	col longitudinal.ColumnarBatch
 }
 
 var batchPool = sync.Pool{New: func() any { return new(batchBuffers) }}
@@ -87,5 +98,6 @@ var batchPool = sync.Pool{New: func() any { return new(batchBuffers) }}
 // request.
 func putBatchBuffers(b *batchBuffers) {
 	clear(b.payloads)
+	b.col.Payloads = nil
 	batchPool.Put(b)
 }

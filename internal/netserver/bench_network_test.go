@@ -92,6 +92,55 @@ func BenchmarkNetworkIngest(b *testing.B) {
 				}
 				reportRate(b, batch)
 			})
+			b.Run(fmt.Sprintf("%s/http-columnar/batch=%d", fam.name, batch), func(b *testing.B) {
+				fx, proto := mkRound(b)
+				stream := newTestStream(b, proto)
+				srv := newTestServer(b, stream, Config{})
+				ts := httptest.NewServer(srv.Handler())
+				defer ts.Close()
+				fx.enrollDirect(b, stream)
+				body := fx.columnarBody(b, proto)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					resp, err := http.Post(ts.URL+"/v1/reports", ContentTypeColumnar, bytes.NewReader(body))
+					if err != nil {
+						b.Fatal(err)
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						b.Fatalf("columnar POST: status %d", resp.StatusCode)
+					}
+					if res := stream.CloseRound(); res.Reports != batch {
+						b.Fatalf("round tallied %d reports, want %d", res.Reports, batch)
+					}
+				}
+				reportRate(b, batch)
+			})
+			b.Run(fmt.Sprintf("%s/tcp-columnar/batch=%d", fam.name, batch), func(b *testing.B) {
+				fx, proto := mkRound(b)
+				stream := newTestStream(b, proto)
+				srv := newTestServer(b, stream, Config{})
+				conn := dialTCPServer(b, srv)
+				fx.enrollDirect(b, stream)
+				frames := AppendFlushFrame(AppendColumnarFrame(nil, fx.columnarBody(b, proto)))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := conn.Write(frames); err != nil {
+						b.Fatal(err)
+					}
+					ack, err := ReadAck(conn)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if ack.ReportRejected != 0 {
+						b.Fatalf("ack = %+v: rejected reports", ack)
+					}
+					if res := stream.CloseRound(); res.Reports != batch {
+						b.Fatalf("round tallied %d reports, want %d", res.Reports, batch)
+					}
+				}
+				reportRate(b, batch)
+			})
 		}
 	}
 }
@@ -142,6 +191,26 @@ func (fx *roundFixture) batchBody() []byte {
 		body = AppendBatchRecord(body, id, fx.payloads[i])
 	}
 	return body
+}
+
+// columnarBody encodes the round as one columnar batch (steady-state
+// form: no registration columns; enrollment happened via enrollDirect).
+func (fx *roundFixture) columnarBody(b *testing.B, proto longitudinal.Protocol) []byte {
+	b.Helper()
+	stride, ok := longitudinal.ColumnarStrideOf(proto)
+	if !ok {
+		b.Fatalf("%s has no columnar stride", proto.Name())
+	}
+	w, err := longitudinal.NewColumnarWriter(longitudinal.SpecHashOf(proto), stride)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, id := range fx.ids {
+		if err := w.Add(id, fx.payloads[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return w.AppendTo(nil)
 }
 
 func (fx *roundFixture) reportFrames() []byte {

@@ -1,15 +1,17 @@
 package netserver
 
 // End-to-end parity: the same payload bytes pushed through the daemon's
-// HTTP and TCP fronts must produce rounds bit-identical to ingesting them
-// in-process. The daemon adds transport, never arithmetic — these tests
-// pin that for a hash-seed family (BiLOLOHA) and a sampled-bucket family
-// (dBitFlipPM), exercising both Registration fields over both wires.
+// HTTP and TCP fronts — in per-report framing and in columnar batches —
+// must produce rounds bit-identical to ingesting them in-process. The
+// daemon adds transport, never arithmetic; TestEndToEndParity pins that
+// for every registered protocol family over both wires and both body
+// formats.
 
 import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -22,6 +24,10 @@ import (
 	"github.com/loloha-ldp/loloha/internal/server"
 )
 
+// parityFamilies is the compact matrix the benches use: a hash-seed
+// family (BiLOLOHA) and a sampled-bucket family (dBitFlipPM) exercise
+// both Registration fields. TestEndToEndParity goes wider and covers
+// every registered family via paritySpec.
 var parityFamilies = []struct {
 	name  string
 	build func() (longitudinal.Protocol, error)
@@ -30,9 +36,32 @@ var parityFamilies = []struct {
 	{"dBitFlipPM", func() (longitudinal.Protocol, error) { return longitudinal.NewDBitFlipPM(32, 8, 3, 2) }},
 }
 
-func newTestStream(t testing.TB, proto longitudinal.Protocol) *server.Stream {
+// paritySpec returns a feasible spec for every registered family so the
+// end-to-end matrix automatically covers families added later.
+func paritySpec(t *testing.T, family string, k int) longitudinal.ProtocolSpec {
 	t.Helper()
-	s, err := server.NewStream(proto, server.WithShards(4))
+	switch family {
+	case "dBitFlipPM":
+		return longitudinal.ProtocolSpec{Family: family, K: k, B: 8, D: 3, EpsInf: 2}
+	case "1BitFlipPM", "bBitFlipPM":
+		return longitudinal.ProtocolSpec{Family: family, K: k, B: 8, EpsInf: 2}
+	case "LOLOHA":
+		return longitudinal.ProtocolSpec{Family: family, K: k, G: 2, EpsInf: 2, Eps1: 1}
+	case "RAPPOR", "L-OSUE", "L-OUE", "L-SOUE", "L-GRR", "BiLOLOHA", "OLOLOHA":
+		return longitudinal.ProtocolSpec{Family: family, K: k, EpsInf: 2, Eps1: 1}
+	default:
+		t.Fatalf("no parity spec for registered family %q — add one", family)
+		return longitudinal.ProtocolSpec{}
+	}
+}
+
+func newTestStream(t testing.TB, proto longitudinal.Protocol) *server.Stream {
+	return newTestStreamShards(t, proto, 4)
+}
+
+func newTestStreamShards(t testing.TB, proto longitudinal.Protocol, shards int) *server.Stream {
+	t.Helper()
+	s, err := server.NewStream(proto, server.WithShards(shards))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,131 +134,205 @@ func sameFloats(a, b []float64) bool {
 }
 
 func TestEndToEndParity(t *testing.T) {
-	for _, fam := range parityFamilies {
-		t.Run(fam.name, func(t *testing.T) {
-			proto, err := fam.build()
-			if err != nil {
-				t.Fatal(err)
-			}
-			const n, rounds, httpChunk = 120, 3, 48
-
-			ref := newTestStream(t, proto)
-			httpStream := newTestStream(t, proto)
-			tcpStream := newTestStream(t, proto)
-
-			httpSrv := newTestServer(t, httpStream, Config{})
-			ts := httptest.NewServer(httpSrv.Handler())
-			defer ts.Close()
-
-			tcpSrv := newTestServer(t, tcpStream, Config{})
-			conn := dialTCPServer(t, tcpSrv)
-
-			// Enroll the same users everywhere: directly, over JSON, and
-			// over enroll frames.
-			clients := make([]longitudinal.AppendReporter, n)
-			ids := make([]int, n)
-			var frames []byte
-			for u := range clients {
-				cl, ok := proto.NewClient(uint64(u)).(longitudinal.AppendReporter)
+	const k = 32
+	for _, family := range longitudinal.Families() {
+		spec := paritySpec(t, family, k)
+		for _, shards := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/shards=%d", family, shards), func(t *testing.T) {
+				proto, err := spec.Build()
+				if err != nil {
+					t.Fatalf("Build(%+v): %v", spec, err)
+				}
+				stride, ok := longitudinal.ColumnarStrideOf(proto)
 				if !ok {
-					t.Fatalf("%s client does not implement AppendReporter", fam.name)
+					t.Fatalf("%s: protocol has no columnar stride", family)
 				}
-				clients[u], ids[u] = cl, u
-				reg := cl.WireRegistration()
-				if err := ref.Enroll(u, reg); err != nil {
-					t.Fatal(err)
-				}
-				resp := postJSON(t, ts.URL+"/v1/enroll",
-					enrollRequest{UserID: u, HashSeed: reg.HashSeed, Sampled: reg.Sampled})
-				if resp.StatusCode != http.StatusOK {
-					t.Fatalf("enroll user %d: status %d", u, resp.StatusCode)
-				}
-				resp.Body.Close()
-				if frames, err = AppendEnrollFrame(frames, u, reg); err != nil {
-					t.Fatal(err)
-				}
-			}
-			if _, err := conn.Write(frames); err != nil {
-				t.Fatal(err)
-			}
-			if ack := flushAndAck(t, conn); ack.Enrolled != n || ack.EnrollRejected != 0 {
-				t.Fatalf("tcp enrollment ack = %+v, want %d enrolled", ack, n)
-			}
+				specHash := longitudinal.SpecHashOf(proto)
+				const n, rounds, httpChunk = 120, 3, 48
 
-			for round := 0; round < rounds; round++ {
-				// One payload per user per round, identical bytes on every
-				// path; clients advance their memoized chain between rounds.
-				payloads := make([][]byte, n)
-				for u, cl := range clients {
-					payloads[u] = cl.AppendReport(nil, (u+round)%proto.K())
-				}
+				ref := newTestStreamShards(t, proto, shards)
+				httpStream := newTestStreamShards(t, proto, shards)
+				tcpStream := newTestStreamShards(t, proto, shards)
+				httpColStream := newTestStreamShards(t, proto, shards)
+				tcpColStream := newTestStreamShards(t, proto, shards)
 
-				if err := ref.IngestBatch(ids, payloads); err != nil {
-					t.Fatal(err)
-				}
-				refRes := ref.CloseRound()
+				httpSrv := newTestServer(t, httpStream, Config{})
+				ts := httptest.NewServer(httpSrv.Handler())
+				defer ts.Close()
+				httpColSrv := newTestServer(t, httpColStream, Config{})
+				tsCol := httptest.NewServer(httpColSrv.Handler())
+				defer tsCol.Close()
 
-				// HTTP: several batch bodies, then close over the API and
-				// check the JSON response against the reference (Go's JSON
-				// float encoding round-trips float64 exactly).
-				for lo := 0; lo < n; lo += httpChunk {
-					hi := min(lo+httpChunk, n)
-					var body []byte
-					for u := lo; u < hi; u++ {
-						body = AppendBatchRecord(body, ids[u], payloads[u])
+				tcpSrv := newTestServer(t, tcpStream, Config{})
+				conn := dialTCPServer(t, tcpSrv)
+				tcpColSrv := newTestServer(t, tcpColStream, Config{})
+				colConn := dialTCPServer(t, tcpColSrv)
+
+				// Enroll the same users on the per-report legs: directly,
+				// over JSON, and over enroll frames. The columnar legs
+				// enroll through their round-0 registration columns instead.
+				clients := make([]longitudinal.AppendReporter, n)
+				regs := make([]longitudinal.Registration, n)
+				ids := make([]int, n)
+				var frames []byte
+				for u := range clients {
+					cl, ok := proto.NewClient(uint64(u)).(longitudinal.AppendReporter)
+					if !ok {
+						t.Fatalf("%s client does not implement AppendReporter", family)
 					}
-					resp, err := http.Post(ts.URL+"/v1/reports", "application/octet-stream", bytes.NewReader(body))
-					if err != nil {
+					clients[u], ids[u] = cl, u
+					reg := cl.WireRegistration()
+					regs[u] = reg
+					if err := ref.Enroll(u, reg); err != nil {
 						t.Fatal(err)
 					}
-					var got struct {
-						Received int    `json:"received"`
-						Rejected int    `json:"rejected"`
-						Error    string `json:"error"`
-					}
-					if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
-						t.Fatal(err)
+					resp := postJSON(t, ts.URL+"/v1/enroll",
+						enrollRequest{UserID: u, HashSeed: reg.HashSeed, Sampled: reg.Sampled})
+					if resp.StatusCode != http.StatusOK {
+						t.Fatalf("enroll user %d: status %d", u, resp.StatusCode)
 					}
 					resp.Body.Close()
-					if resp.StatusCode != http.StatusOK || got.Received != hi-lo || got.Rejected != 0 {
-						t.Fatalf("batch [%d,%d): status %d, response %+v", lo, hi, resp.StatusCode, got)
+					if frames, err = AppendEnrollFrame(frames, u, reg); err != nil {
+						t.Fatal(err)
 					}
-				}
-				resp := postJSON(t, ts.URL+"/v1/round/close", struct{}{})
-				var httpRes roundJSON
-				if err := json.NewDecoder(resp.Body).Decode(&httpRes); err != nil {
-					t.Fatal(err)
-				}
-				resp.Body.Close()
-
-				// TCP: one frame per report, flush as the round barrier.
-				frames = frames[:0]
-				for u := range clients {
-					frames = AppendReportFrame(frames, ids[u], payloads[u])
 				}
 				if _, err := conn.Write(frames); err != nil {
 					t.Fatal(err)
 				}
-				if ack := flushAndAck(t, conn); ack.Reports != uint64(n*(round+1)) || ack.ReportRejected != 0 {
-					t.Fatalf("round %d tcp ack = %+v, want %d reports", round, ack, n*(round+1))
+				if ack := flushAndAck(t, conn); ack.Enrolled != n || ack.EnrollRejected != 0 {
+					t.Fatalf("tcp enrollment ack = %+v, want %d enrolled", ack, n)
 				}
-				tcpRes := tcpStream.CloseRound()
 
-				if refRes.Round != round || httpRes.Round != round || tcpRes.Round != round {
-					t.Fatalf("round indices diverge: ref %d, http %d, tcp %d", refRes.Round, httpRes.Round, tcpRes.Round)
+				for round := 0; round < rounds; round++ {
+					// One payload per user per round, identical bytes on every
+					// path; clients advance their memoized chain between rounds.
+					payloads := make([][]byte, n)
+					for u, cl := range clients {
+						payloads[u] = cl.AppendReport(nil, (u+round)%proto.K())
+					}
+
+					if err := ref.IngestBatch(ids, payloads); err != nil {
+						t.Fatal(err)
+					}
+					refRes := ref.CloseRound()
+
+					// HTTP: several batch bodies, then close over the API and
+					// check the JSON response against the reference (Go's JSON
+					// float encoding round-trips float64 exactly).
+					for lo := 0; lo < n; lo += httpChunk {
+						hi := min(lo+httpChunk, n)
+						var body []byte
+						for u := lo; u < hi; u++ {
+							body = AppendBatchRecord(body, ids[u], payloads[u])
+						}
+						resp, err := http.Post(ts.URL+"/v1/reports", "application/octet-stream", bytes.NewReader(body))
+						if err != nil {
+							t.Fatal(err)
+						}
+						var got struct {
+							Received int    `json:"received"`
+							Rejected int    `json:"rejected"`
+							Error    string `json:"error"`
+						}
+						if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+							t.Fatal(err)
+						}
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusOK || got.Received != hi-lo || got.Rejected != 0 {
+							t.Fatalf("batch [%d,%d): status %d, response %+v", lo, hi, resp.StatusCode, got)
+						}
+					}
+					resp := postJSON(t, ts.URL+"/v1/round/close", struct{}{})
+					var httpRes roundJSON
+					if err := json.NewDecoder(resp.Body).Decode(&httpRes); err != nil {
+						t.Fatal(err)
+					}
+					resp.Body.Close()
+
+					// TCP: one frame per report, flush as the round barrier.
+					frames = frames[:0]
+					for u := range clients {
+						frames = AppendReportFrame(frames, ids[u], payloads[u])
+					}
+					if _, err := conn.Write(frames); err != nil {
+						t.Fatal(err)
+					}
+					if ack := flushAndAck(t, conn); ack.Reports != uint64(n*(round+1)) || ack.ReportRejected != 0 {
+						t.Fatalf("round %d tcp ack = %+v, want %d reports", round, ack, n*(round+1))
+					}
+					tcpRes := tcpStream.CloseRound()
+
+					// Columnar: one packed batch per round, identical payload
+					// bytes; round 0 carries the registration columns that
+					// enroll the users on these legs.
+					w, err := longitudinal.NewColumnarWriter(specHash, stride)
+					if err != nil {
+						t.Fatal(err)
+					}
+					w.SetRound(uint32(round))
+					if round == 0 {
+						if err := w.WithRegistrations(len(regs[0].Sampled)); err != nil {
+							t.Fatal(err)
+						}
+					}
+					for u := range clients {
+						if round == 0 {
+							err = w.AddWithRegistration(ids[u], payloads[u], regs[u])
+						} else {
+							err = w.Add(ids[u], payloads[u])
+						}
+						if err != nil {
+							t.Fatal(err)
+						}
+					}
+					enc := w.AppendTo(nil)
+
+					resp, err = http.Post(tsCol.URL+"/v1/reports", ContentTypeColumnar, bytes.NewReader(enc))
+					if err != nil {
+						t.Fatal(err)
+					}
+					var colGot struct {
+						Received int    `json:"received"`
+						Rejected int    `json:"rejected"`
+						Error    string `json:"error"`
+					}
+					if err := json.NewDecoder(resp.Body).Decode(&colGot); err != nil {
+						t.Fatal(err)
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK || colGot.Received != n || colGot.Rejected != 0 {
+						t.Fatalf("round %d columnar POST: status %d, response %+v", round, resp.StatusCode, colGot)
+					}
+					httpColRes := httpColStream.CloseRound()
+
+					if _, err := colConn.Write(AppendColumnarFrame(nil, enc)); err != nil {
+						t.Fatal(err)
+					}
+					if ack := flushAndAck(t, colConn); ack.Reports != uint64(n*(round+1)) || ack.ReportRejected != 0 {
+						t.Fatalf("round %d columnar tcp ack = %+v, want %d reports", round, ack, n*(round+1))
+					}
+					tcpColRes := tcpColStream.CloseRound()
+
+					for name, res := range map[string]roundJSON{
+						"http":          httpRes,
+						"tcp":           toRoundJSON(tcpRes),
+						"http-columnar": toRoundJSON(httpColRes),
+						"tcp-columnar":  toRoundJSON(tcpColRes),
+					} {
+						if res.Round != round || refRes.Round != round {
+							t.Fatalf("round indices diverge: ref %d, %s %d", refRes.Round, name, res.Round)
+						}
+						if res.Reports != n || refRes.Reports != n {
+							t.Fatalf("round %d report counts diverge: ref %d, %s %d",
+								round, refRes.Reports, name, res.Reports)
+						}
+						if !sameFloats(refRes.Raw, res.Raw) || !sameFloats(refRes.Estimates, res.Estimates) {
+							t.Fatalf("round %d estimates diverge between ref and %s", round, name)
+						}
+					}
 				}
-				if refRes.Reports != n || httpRes.Reports != n || tcpRes.Reports != n {
-					t.Fatalf("round %d report counts diverge: ref %d, http %d, tcp %d",
-						round, refRes.Reports, httpRes.Reports, tcpRes.Reports)
-				}
-				if !sameFloats(refRes.Raw, httpRes.Raw) || !sameFloats(refRes.Raw, tcpRes.Raw) {
-					t.Fatalf("round %d raw estimates diverge across transports", round)
-				}
-				if !sameFloats(refRes.Estimates, httpRes.Estimates) || !sameFloats(refRes.Estimates, tcpRes.Estimates) {
-					t.Fatalf("round %d estimates diverge across transports", round)
-				}
-			}
-		})
+			})
+		}
 	}
 }
 

@@ -3,12 +3,14 @@ package netserver
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net"
 
 	"github.com/loloha-ldp/loloha/internal/longitudinal"
+	"github.com/loloha-ldp/loloha/internal/server"
 )
 
 // Raw-TCP framing: a length-prefixed envelope over the wire formats the
@@ -20,9 +22,11 @@ import (
 //
 // Client → server frames:
 //
-//	enroll (0x01): u64 LE userID ++ longitudinal.AppendRegistration bytes
-//	report (0x02): u64 LE userID ++ Report.AppendBinary payload
-//	flush  (0x03): empty body; requests an ack
+//	enroll   (0x01): u64 LE userID ++ longitudinal.AppendRegistration bytes
+//	report   (0x02): u64 LE userID ++ Report.AppendBinary payload
+//	flush    (0x03): empty body; requests an ack
+//	columnar (0x04): one longitudinal columnar batch (header + packed
+//	                 ID/registration/payload columns), no per-report framing
 //
 // Server → client frames:
 //
@@ -44,6 +48,12 @@ const (
 	FrameReport = 0x02
 	// FrameFlush requests an Ack for all prior frames.
 	FrameFlush = 0x03
+	// FrameColumnar carries one columnar batch of reports
+	// (longitudinal.ColumnarWriter bytes). A batch whose header fails to
+	// decode or whose spec hash disagrees with the server's protocol is a
+	// protocol error (the producer's encoder is misconfigured) and drops
+	// the connection; per-report rejections only bump counters.
+	FrameColumnar = 0x04
 	// FrameAck is the server's reply to FrameFlush.
 	FrameAck = 0x80
 
@@ -92,6 +102,16 @@ func AppendReportFrame(dst []byte, userID int, payload []byte) []byte {
 	return append(dst, payload...)
 }
 
+// AppendColumnarFrame appends a columnar batch frame to dst. batch is an
+// encoded columnar batch (longitudinal.ColumnarWriter.AppendTo bytes).
+//
+//loloha:noalloc
+func AppendColumnarFrame(dst []byte, batch []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(batch)))
+	dst = append(dst, FrameColumnar)
+	return append(dst, batch...)
+}
+
 // AppendFlushFrame appends a flush frame to dst.
 func AppendFlushFrame(dst []byte) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, 0)
@@ -133,6 +153,10 @@ type tcpConn struct {
 	bw  *bufio.Writer
 	hdr [frameHeaderBytes]byte
 	buf []byte // reusable frame body, grown to the largest frame seen
+	// col is the connection's reusable columnar decode target: its column
+	// slices grow to the largest batch seen, so steady-state columnar
+	// frames decode and tally with zero allocations per report.
+	col longitudinal.ColumnarBatch
 
 	enrolled       uint64
 	enrollRejected uint64
@@ -163,6 +187,10 @@ func (c *tcpConn) serve() {
 		switch typ {
 		case FrameReport:
 			c.handleReport(body)
+		case FrameColumnar:
+			if !c.handleColumnar(body) {
+				return // undecodable or wrong-protocol batch: protocol error
+			}
 		case FrameEnroll:
 			c.handleEnroll(body)
 		case FrameFlush:
@@ -221,6 +249,31 @@ func (c *tcpConn) handleReport(body []byte) {
 		return
 	}
 	c.reports++
+}
+
+// handleColumnar applies one columnar batch frame: decode the packed
+// columns into the connection's reusable batch and tally them in one
+// IngestColumnar call. Returns false on a protocol error — a body that
+// fails structural decoding, or a batch whose spec hash/stride disagrees
+// with the server's protocol (server.ErrColumnarMismatch): both mean the
+// producer's encoder is broken, which, like framing corruption, is not
+// survivable. Per-report rejections bump counters and keep the
+// connection. Zero allocations per report in the steady state.
+//
+//loloha:noalloc
+func (c *tcpConn) handleColumnar(body []byte) bool {
+	if err := longitudinal.DecodeColumnar(body, &c.col); err != nil {
+		return false
+	}
+	n := uint64(c.col.Count())
+	err := c.srv.stream.IngestColumnar(&c.col)
+	if err != nil && errors.Is(err, server.ErrColumnarMismatch) {
+		return false
+	}
+	rejected := uint64(countJoined(err))
+	c.reports += n - rejected
+	c.reportRejected += rejected
+	return true
 }
 
 // handleEnroll applies one enroll frame. Enrollment is one-time per user

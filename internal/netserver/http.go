@@ -143,18 +143,37 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ids, payloads, err := decodeBatchBody(body, bb.ids, bb.payloads, s.maxFrame)
-	bb.ids, bb.payloads = ids, payloads
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+	var n int
+	var ingestErr error
+	if r.Header.Get("Content-Type") == ContentTypeColumnar {
+		if err := longitudinal.DecodeColumnar(body, &bb.col); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		n = bb.col.Count()
+		ingestErr = s.stream.IngestColumnar(&bb.col)
+		if errors.Is(ingestErr, server.ErrColumnarMismatch) {
+			// The whole batch was built for another protocol configuration:
+			// the client's encoder is misconfigured, a 400 like a framing
+			// error, not a per-report rejection.
+			writeError(w, http.StatusBadRequest, ingestErr)
+			return
+		}
+	} else {
+		ids, payloads, err := decodeBatchBody(body, bb.ids, bb.payloads, s.maxFrame)
+		bb.ids, bb.payloads = ids, payloads
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		n = len(ids)
+		ingestErr = s.stream.IngestBatch(ids, payloads)
 	}
-	ingestErr := s.stream.IngestBatch(ids, payloads)
 	rejected := countJoined(ingestErr)
 	s.httpBatches.Add(1)
-	s.httpReports.Add(uint64(len(ids) - rejected))
+	s.httpReports.Add(uint64(n - rejected))
 	s.httpRejected.Add(uint64(rejected))
-	resp := map[string]any{"received": len(ids) - rejected, "rejected": rejected}
+	resp := map[string]any{"received": n - rejected, "rejected": rejected}
 	if ingestErr != nil {
 		resp["error"] = ingestErr.Error()
 	}
@@ -199,12 +218,16 @@ func readBody(r *http.Request, buf []byte, max int) ([]byte, error) {
 }
 
 // countJoined counts the sub-errors of an errors.Join result (IngestBatch
-// joins one error per rejected report).
+// joins one error per rejected report). Steady state is err == nil;
+// everything past the first return only runs for rejected reports.
+//
+//loloha:noalloc
 func countJoined(err error) int {
 	if err == nil {
 		return 0
 	}
 	var multi interface{ Unwrap() []error }
+	//loloha:alloc-ok cold: only reached when reports were rejected
 	if errors.As(err, &multi) {
 		return len(multi.Unwrap())
 	}

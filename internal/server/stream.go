@@ -45,6 +45,11 @@ type Stream struct {
 	tallier longitudinal.WireTallier
 	decoder Decoder
 
+	// specHash fingerprints the stream's protocol configuration
+	// (longitudinal.SpecHashOf); columnar batches carry the producer's
+	// hash and IngestColumnar rejects the whole batch on mismatch.
+	specHash uint64
+
 	// mu is the round barrier: CloseRound/Collect hold it exclusively;
 	// Enroll, Ingest and the published-history readers hold it shared
 	// (results and subscribers are only mutated under the exclusive lock).
@@ -92,6 +97,9 @@ type batchScratch struct {
 	regs     []Registration
 	ok       []bool
 	reps     []longitudinal.Report
+	// cells re-frames a columnar payload column as per-report slices for
+	// the IngestBatch compatibility path.
+	cells [][]byte
 }
 
 // RoundResult is one published collection round.
@@ -235,6 +243,7 @@ func NewStream(proto longitudinal.Protocol, opts ...Option) (*Stream, error) {
 		proto:    proto,
 		tallier:  tallier,
 		decoder:  cfg.decoder,
+		specHash: longitudinal.SpecHashOf(proto),
 		pp:       cfg.pp,
 		roundCap: cfg.roundCap,
 	}
@@ -567,6 +576,145 @@ func (s *Stream) IngestBatch(userIDs []int, payloads [][]byte) error {
 	return errors.Join(errs...)
 }
 
+// ErrColumnarMismatch reports a columnar batch built for a different
+// protocol configuration than the stream's: its spec hash or payload
+// stride disagrees. The whole batch is rejected — the producer's encoder
+// is misconfigured, which is a framing-level fault, not a per-report one.
+var ErrColumnarMismatch = errors.New("columnar batch does not match the stream's protocol")
+
+// IngestColumnar tallies one decoded columnar batch (see
+// longitudinal.DecodeColumnar). With a columnar-capable tallier
+// (longitudinal.ColumnarTallier — every tallier in this repository) the
+// packed payload column tallies cell by cell with the length validation
+// hoisted out of the loop, one shard-lock acquisition per shard per
+// batch, and zero steady-state allocations. A batch carrying registration
+// columns enrolls each user before tallying (idempotent for already
+// enrolled users; a conflicting re-enrollment is reported but the report
+// still tallies under the original registration, exactly as a separate
+// enroll-then-report sequence would behave).
+//
+// The spec hash and payload stride must match the stream's protocol;
+// otherwise the whole batch is rejected with ErrColumnarMismatch.
+// Per-report rejections (not enrolled, duplicate, malformed cell) join
+// into the returned error exactly like IngestBatch.
+//
+//loloha:noalloc
+func (s *Stream) IngestColumnar(batch *longitudinal.ColumnarBatch) error {
+	if batch.SpecHash != s.specHash {
+		return fmt.Errorf("server: batch spec hash %#016x, stream has %#016x: %w",
+			batch.SpecHash, s.specHash, ErrColumnarMismatch)
+	}
+	n := batch.Count()
+	if n == 0 {
+		return nil
+	}
+	ct, columnar := s.tallier.(longitudinal.ColumnarTallier)
+	if !columnar {
+		// Compatibility path: a WithDecoder override or a tallier without
+		// the columnar contract re-frames the column and rides IngestBatch.
+		return s.ingestColumnarCompat(batch)
+	}
+	if batch.Stride != ct.PayloadStride() {
+		return fmt.Errorf("server: batch payload stride %d, protocol takes %d: %w",
+			batch.Stride, ct.PayloadStride(), ErrColumnarMismatch)
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	sc := s.scratch.Get().(*batchScratch)
+	defer s.putScratch(sc)
+
+	var errs []error
+	// Partition by shard so the tally loop takes one lock per shard.
+	perShard := sc.perShard
+	for i := range perShard {
+		perShard[i] = perShard[i][:0]
+	}
+	for i, u := range batch.IDs {
+		if err := s.checkWireID(u); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		si := s.shardIndex(u)
+		perShard[si] = append(perShard[si], i)
+	}
+
+	hasRegs := batch.HasRegistrations()
+	for si, idxs := range perShard {
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := s.shards[si]
+		sh.mu.Lock()
+		for _, i := range idxs {
+			u := batch.IDs[i]
+			if hasRegs {
+				// Cold path: the batch enrolls its users inline. The sampled
+				// view aliases the batch's pooled bucket column, so the
+				// retained registration clones it.
+				reg := batch.Registration(i)
+				//loloha:alloc-ok cold enrollment clones the batch's sampled-bucket view
+				reg.Sampled = slices.Clone(reg.Sampled)
+				//loloha:alloc-ok cold enrollment extends the shard's slot tables
+				if err := sh.enroll(u, reg); err != nil {
+					errs = append(errs, err)
+				}
+			}
+			slot, found := sh.slots[u]
+			if !found {
+				errs = append(errs, fmt.Errorf("server: user %d not enrolled", u))
+				continue
+			}
+			if sh.reported.Get(slot) {
+				errs = append(errs, fmt.Errorf("server: user %d already reported this round", u))
+				continue
+			}
+			if err := ct.TallyCell(sh.agg, u, batch.Payload(i), sh.regs[slot]); err != nil {
+				errs = append(errs, fmt.Errorf("server: user %d payload: %w", u, err))
+				continue
+			}
+			sh.reported.Set(slot, true)
+			sh.tallied++
+		}
+		sh.mu.Unlock()
+	}
+	return errors.Join(errs...)
+}
+
+// ingestColumnarCompat routes a columnar batch through the per-report
+// IngestBatch machinery for streams without a columnar tallier (decoder
+// override, or an external tallier without the columnar contract).
+// Enrollment runs first without the stream lock held — IngestBatch takes
+// its own — so the two phases cannot deadlock against a waiting writer.
+func (s *Stream) ingestColumnarCompat(batch *longitudinal.ColumnarBatch) error {
+	var errs []error
+	if batch.HasRegistrations() {
+		for i, u := range batch.IDs {
+			if s.checkWireID(u) != nil {
+				continue // IngestBatch reports the cohort-ID rejection once
+			}
+			reg := batch.Registration(i)
+			reg.Sampled = slices.Clone(reg.Sampled)
+			if err := s.Enroll(u, reg); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	sc := s.scratch.Get().(*batchScratch)
+	cells := growScratch(sc.cells, batch.Count())
+	sc.cells = cells
+	for i := range cells {
+		cells[i] = batch.Payload(i)
+	}
+	err := s.IngestBatch(batch.IDs, cells)
+	s.putScratch(sc)
+	if err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
 // growScratch returns s resized to n elements, reusing its capacity when
 // possible. Contents are unspecified; callers overwrite or clear.
 //
@@ -586,6 +734,7 @@ func growScratch[T any](s []T, n int) []T {
 func (s *Stream) putScratch(sc *batchScratch) {
 	clear(sc.reps)
 	clear(sc.regs)
+	clear(sc.cells)
 	s.scratch.Put(sc)
 }
 

@@ -1,0 +1,91 @@
+package simulation
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/loloha-ldp/loloha/internal/datasets"
+	"github.com/loloha-ldp/loloha/internal/longitudinal"
+)
+
+// TestReplayColumnarParity pins the interchange contract: exporting a
+// dataset as columnar round files and replaying them through a sharded
+// Stream reproduces ReplaySharded's estimates bit-identically, for a
+// hash-seed family and a sampled-bucket family, at 1 and 4 shards.
+func TestReplayColumnarParity(t *testing.T) {
+	ds := datasets.Syn(datasets.SynConfig{K: 24, N: 200, Tau: 4, Seed: 7})
+	const seed = 11
+	for _, tc := range []struct {
+		name string
+		spec string
+	}{
+		{"BiLOLOHA", `{"family":"BiLOLOHA","k":24,"eps_inf":2,"eps1":1}`},
+		{"dBitFlipPM", `{"family":"dBitFlipPM","k":24,"b":8,"d":3,"eps_inf":2}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			proto := buildSpec(t, tc.spec)
+			want := Replay(ds, proto, seed)
+
+			dir := filepath.Join(t.TempDir(), "rounds")
+			files, err := ExportColumnar(ds, proto, seed, dir)
+			if err != nil {
+				t.Fatalf("ExportColumnar: %v", err)
+			}
+			if len(files) != ds.Tau() {
+				t.Fatalf("exported %d files, want %d", len(files), ds.Tau())
+			}
+			for _, f := range files {
+				if _, err := os.Stat(f); err != nil {
+					t.Fatalf("exported file missing: %v", err)
+				}
+			}
+
+			for _, shards := range []int{1, 4} {
+				got, err := ReplayColumnar(proto, shards, files)
+				if err != nil {
+					t.Fatalf("ReplayColumnar(shards=%d): %v", shards, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("shards=%d: %d rounds, want %d", shards, len(got), len(want))
+				}
+				for r := range want {
+					for v := range want[r] {
+						if got[r][v] != want[r][v] {
+							t.Fatalf("shards=%d round %d estimate %d = %v, want %v",
+								shards, r, v, got[r][v], want[r][v])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReplayColumnarRejectsForeignFiles pins that files from a different
+// protocol are refused as a whole rather than mis-tallied.
+func TestReplayColumnarRejectsForeignFiles(t *testing.T) {
+	ds := datasets.Syn(datasets.SynConfig{K: 24, N: 50, Tau: 2, Seed: 7})
+	exportProto := buildSpec(t, `{"family":"BiLOLOHA","k":24,"eps_inf":2,"eps1":1}`)
+	files, err := ExportColumnar(ds, exportProto, 3, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := buildSpec(t, `{"family":"BiLOLOHA","k":24,"eps_inf":3,"eps1":1}`)
+	if _, err := ReplayColumnar(other, 1, files); err == nil {
+		t.Fatal("ReplayColumnar tallied files written for a different protocol")
+	}
+}
+
+func buildSpec(t *testing.T, spec string) longitudinal.Protocol {
+	t.Helper()
+	s, err := longitudinal.ParseSpec([]byte(spec))
+	if err != nil {
+		t.Fatalf("parsing spec: %v", err)
+	}
+	p, err := s.Build()
+	if err != nil {
+		t.Fatalf("building spec: %v", err)
+	}
+	return p
+}

@@ -58,8 +58,10 @@ var trustTable = []trustRule{
 	{"encoding/binary", "", "Varint"},
 	{"encoding/binary", "", "PutVarint"},
 	// errors.Join allocates only when at least one error is non-nil, i.e.
-	// only off the steady path.
+	// only off the steady path; errors.Is walks the chain without
+	// allocating (and the steady-state chain is nil).
 	{"errors", "", "Join"},
+	{"errors", "", "Is"},
 	// io.ReadFull fills a caller buffer; any allocation belongs to the
 	// underlying Reader (the netserver read loop hands it a bufio.Reader
 	// with a fixed buffer, vetted by the frame-path AllocsPerRun pin).
@@ -133,12 +135,23 @@ var trustTable = []trustRule{
 	{"internal/longitudinal", "WireTallier", "TallyWire"},
 	{"internal/longitudinal", "AppendReporter", "AppendReport"},
 	{"internal/longitudinal", "AppendReporter", "WireRegistration"},
+	// Columnar batch surface: the decoder reuses the batch's columns (the
+	// payload column aliases the source) and the accessors slice them;
+	// ColumnarTallier implementations carry their own annotations.
+	{"internal/longitudinal", "", "DecodeColumnar"},
+	{"internal/longitudinal", "ColumnarBatch", "Count"},
+	{"internal/longitudinal", "ColumnarBatch", "HasRegistrations"},
+	{"internal/longitudinal", "ColumnarBatch", "Payload"},
+	{"internal/longitudinal", "ColumnarBatch", "Registration"},
+	{"internal/longitudinal", "ColumnarTallier", "PayloadStride"},
+	{"internal/longitudinal", "ColumnarTallier", "TallyCell"},
 	// core's annotated surface, for the server package.
 	{"internal/core", "Aggregator", "AddReport"},
 	{"internal/core", "Client", "AppendReport"},
 	// server's annotated ingestion surface, for the netserver frame loop.
 	{"internal/server", "Stream", "Ingest"},
 	{"internal/server", "Stream", "IngestBatch"},
+	{"internal/server", "Stream", "IngestColumnar"},
 }
 
 func pkgMatch(path, want string) bool {

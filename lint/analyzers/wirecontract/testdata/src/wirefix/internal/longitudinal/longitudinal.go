@@ -11,7 +11,14 @@ type SpecProtocol interface {
 	Spec() ProtocolSpec
 }
 
-type TallyProtocol interface{ WireTallier() int }
+type WireTallier interface{ TallyWire(payload []byte) error }
+
+type ColumnarTallier interface {
+	WireTallier
+	PayloadStride() int
+}
+
+type TallyProtocol interface{ WireTallier() WireTallier }
 
 type AppendReporter interface{ AppendReport([]byte, int) []byte }
 
@@ -23,12 +30,18 @@ func RegisterFamily(name string, info FamilyInfo) {}
 
 func RegisterWireDecoder(name string, mk func() int) {}
 
+// goodTallier supports both the row and the columnar tally paths.
+type goodTallier struct{}
+
+func (goodTallier) TallyWire(payload []byte) error { return nil }
+func (goodTallier) PayloadStride() int             { return 1 }
+
 // good is the fully asserted fast-path family.
 type good struct{}
 
-func (*good) K() int             { return 2 }
-func (*good) Spec() ProtocolSpec { return ProtocolSpec{Name: "good"} }
-func (*good) WireTallier() int   { return 0 }
+func (*good) K() int                   { return 2 }
+func (*good) Spec() ProtocolSpec       { return ProtocolSpec{Name: "good"} }
+func (*good) WireTallier() WireTallier { return goodTallier{} }
 
 func (p *good) NewClient(seed uint64) *goodClient { return &goodClient{} }
 
@@ -37,17 +50,20 @@ type goodClient struct{}
 func (*goodClient) AppendReport(dst []byte, v int) []byte { return dst }
 
 var (
-	_ SpecProtocol   = (*good)(nil)
-	_ TallyProtocol  = (*good)(nil)
-	_ AppendReporter = (*goodClient)(nil)
+	_ SpecProtocol    = (*good)(nil)
+	_ TallyProtocol   = (*good)(nil)
+	_ AppendReporter  = (*goodClient)(nil)
+	_ ColumnarTallier = goodTallier{}
 )
 
-// missing implements the fast path but forgot its assertions.
+// missing implements the fast path but forgot its assertions. Its tallier
+// is the already-reported goodTallier, so only the protocol assertions are
+// flagged.
 type missing struct{}
 
-func (*missing) K() int             { return 2 }
-func (*missing) Spec() ProtocolSpec { return ProtocolSpec{Name: "missing"} }
-func (*missing) WireTallier() int   { return 0 }
+func (*missing) K() int                   { return 2 }
+func (*missing) Spec() ProtocolSpec       { return ProtocolSpec{Name: "missing"} }
+func (*missing) WireTallier() WireTallier { return goodTallier{} }
 
 // boxedProto implements only the boxed minimum.
 type boxedProto struct{}
@@ -56,6 +72,42 @@ func (*boxedProto) K() int             { return 2 }
 func (*boxedProto) Spec() ProtocolSpec { return ProtocolSpec{Name: "boxed"} }
 
 var _ SpecProtocol = (*boxedProto)(nil)
+
+// rowTallier handles single reports only: no PayloadStride, so columnar
+// batches for this family re-frame per report.
+type rowTallier struct{}
+
+func (rowTallier) TallyWire(payload []byte) error { return nil }
+
+// rowOnly is asserted for the protocol interfaces but its tallier never
+// grew a columnar path.
+type rowOnly struct{}
+
+func (*rowOnly) K() int                   { return 2 }
+func (*rowOnly) Spec() ProtocolSpec       { return ProtocolSpec{Name: "rowOnly"} }
+func (*rowOnly) WireTallier() WireTallier { return rowTallier{} }
+
+var (
+	_ SpecProtocol  = (*rowOnly)(nil)
+	_ TallyProtocol = (*rowOnly)(nil)
+)
+
+// colTallier implements the columnar path but forgot its assertion.
+type colTallier struct{}
+
+func (colTallier) TallyWire(payload []byte) error { return nil }
+func (colTallier) PayloadStride() int             { return 1 }
+
+type colMissing struct{}
+
+func (*colMissing) K() int                   { return 2 }
+func (*colMissing) Spec() ProtocolSpec       { return ProtocolSpec{Name: "colMissing"} }
+func (*colMissing) WireTallier() WireTallier { return colTallier{} }
+
+var (
+	_ SpecProtocol  = (*colMissing)(nil)
+	_ TallyProtocol = (*colMissing)(nil)
+)
 
 func init() {
 	RegisterFamily("good", FamilyInfo{ // ok: implemented and asserted
@@ -66,6 +118,12 @@ func init() {
 	})
 	RegisterFamily("boxed", FamilyInfo{ // want "does not implement TallyProtocol"
 		Build: func(s ProtocolSpec) (Protocol, error) { return &boxedProto{}, nil },
+	})
+	RegisterFamily("rowOnly", FamilyInfo{ // want "does not implement ColumnarTallier"
+		Build: func(s ProtocolSpec) (Protocol, error) { return &rowOnly{}, nil },
+	})
+	RegisterFamily("colMissing", FamilyInfo{ // want "var _ ColumnarTallier"
+		Build: func(s ProtocolSpec) (Protocol, error) { return &colMissing{}, nil },
 	})
 	//loloha:boxed decoder-compat shim kept for the legacy wire format
 	RegisterWireDecoder("legacy", func() int { return 0 })

@@ -16,6 +16,10 @@
 //   - The concrete client type returned by the protocol's NewClient must
 //     implement AppendReporter and carry its assertion, with the same
 //     //loloha:boxed escape.
+//   - The concrete tallier returned by a TallyProtocol's WireTallier must
+//     implement ColumnarTallier (the decode-free batch fast path) and
+//     carry its assertion; a row-only tallier is flagged unless marked
+//     //loloha:boxed <why>.
 //   - RegisterWireDecoder registers a decoder-only (inherently boxed)
 //     family and always requires the //loloha:boxed marker.
 //
@@ -109,6 +113,7 @@ func checkFamily(pass *analysis.Pass, ix *annot.Index, asserts []assertion, repo
 	specIface := lookupIface(registry, "SpecProtocol")
 	tallyIface := lookupIface(registry, "TallyProtocol")
 	reporterIface := lookupIface(registry, "AppendReporter")
+	columnarIface := lookupIface(registry, "ColumnarTallier")
 
 	for _, proto := range resolveReturns(pass, build) {
 		key := proto.String()
@@ -133,6 +138,22 @@ func checkFamily(pass *analysis.Pass, ix *annot.Index, asserts []assertion, repo
 				}
 			case !asserted(asserts, tallyIface, proto):
 				pass.Reportf(call.Pos(), "missing compile-time assertion: var _ TallyProtocol = (%s)(nil)", proto)
+			}
+		}
+		if columnarIface != nil && tallyIface != nil && implements(proto, tallyIface) {
+			if tallier := resolveMethodReturn(pass, proto, "WireTallier"); tallier != nil {
+				tkey := tallier.String() + " columnar"
+				if !reported[tkey] {
+					reported[tkey] = true
+					switch {
+					case !implements(tallier, columnarIface):
+						if !ix.At(call, "boxed") {
+							pass.Reportf(call.Pos(), "tallier %s does not implement ColumnarTallier: columnar batches fall back to per-report re-framing; implement TallyCell or mark //loloha:boxed <why>", tallier)
+						}
+					case !asserted(asserts, columnarIface, tallier):
+						pass.Reportf(call.Pos(), "missing compile-time assertion: var _ ColumnarTallier = %s", zeroValueOf(tallier))
+					}
+				}
 			}
 		}
 		if reporterIface == nil {
@@ -276,7 +297,15 @@ func resolveReturns(pass *analysis.Pass, build ast.Expr) []types.Type {
 // resolveClientType finds the concrete type returned by proto's NewClient
 // by reading its declaration in this package.
 func resolveClientType(pass *analysis.Pass, proto types.Type) types.Type {
-	obj, _, _ := types.LookupFieldOrMethod(proto, true, pass.Pkg, "NewClient")
+	return resolveMethodReturn(pass, proto, "NewClient")
+}
+
+// resolveMethodReturn finds the concrete static type of the first result
+// returned by proto's named method, by reading the method's declaration in
+// this package. Returns nil when the method or its body is elsewhere, or
+// when every return is interface-typed (unresolvable, so skipped).
+func resolveMethodReturn(pass *analysis.Pass, proto types.Type, method string) types.Type {
+	obj, _, _ := types.LookupFieldOrMethod(proto, true, pass.Pkg, method)
 	fn, ok := obj.(*types.Func)
 	if !ok {
 		return nil
@@ -326,6 +355,19 @@ func forEachReturn(body *ast.BlockStmt, visit func(*ast.ReturnStmt)) {
 		}
 		return true
 	})
+}
+
+// zeroValueOf renders the spelling of a zero value of t for use in an
+// assertion suggestion: `T{}` for structs (talliers are value types in this
+// repository), `(*T)(nil)` for pointers, `T(0)`-less bare name otherwise.
+func zeroValueOf(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		return "(" + p.String() + ")(nil)"
+	}
+	if _, ok := t.Underlying().(*types.Struct); ok {
+		return t.String() + "{}"
+	}
+	return t.String()
 }
 
 func firstOfTuple(t types.Type) types.Type {

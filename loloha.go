@@ -177,6 +177,52 @@ type WireTallier = longitudinal.WireTallier
 // decode path instead, with bit-identical estimates.
 type TallyProtocol = longitudinal.TallyProtocol
 
+// ---------------------------------------------------------------------------
+// Columnar batch wire format.
+
+// ColumnarBatch is one decoded columnar report batch: parallel columns
+// of user IDs, fixed-stride payload cells and (optionally) enrollment
+// registrations, sharing one header. Decode with DecodeColumnar and feed
+// to Stream.IngestColumnar; the payload column aliases the source buffer,
+// so the batch must be consumed before the buffer is reused.
+type ColumnarBatch = longitudinal.ColumnarBatch
+
+// ColumnarWriter builds columnar batches on the producer side. Reset
+// keeps configuration and capacity for reuse across rounds.
+type ColumnarWriter = longitudinal.ColumnarWriter
+
+// ColumnarTallier is a WireTallier that also tallies fixed-stride payload
+// cells straight out of a columnar batch. Every protocol in this
+// repository provides one; external protocols without it still ingest
+// columnar batches through the per-report compatibility path.
+type ColumnarTallier = longitudinal.ColumnarTallier
+
+// NewColumnarWriter returns a writer for batches of stride-byte payload
+// cells bound to the given protocol spec hash (see SpecHashOf).
+func NewColumnarWriter(specHash uint64, stride int) (*ColumnarWriter, error) {
+	return longitudinal.NewColumnarWriter(specHash, stride)
+}
+
+// DecodeColumnar parses an encoded columnar batch into b, reusing b's
+// columns. The payload column aliases src.
+func DecodeColumnar(src []byte, b *ColumnarBatch) error {
+	return longitudinal.DecodeColumnar(src, b)
+}
+
+// ColumnarStrideOf returns the fixed payload size the protocol's tallier
+// expects per report, or false if the protocol has no ColumnarTallier.
+func ColumnarStrideOf(p Protocol) (int, bool) { return longitudinal.ColumnarStrideOf(p) }
+
+// SpecHashOf returns the stable hash of the protocol's normalized spec —
+// the value producers must stamp into columnar batch headers — or 0 if
+// the protocol does not expose a spec.
+func SpecHashOf(p Protocol) uint64 { return longitudinal.SpecHashOf(p) }
+
+// ErrColumnarMismatch reports a columnar batch whose spec hash or payload
+// stride does not match the stream's protocol; Stream.IngestColumnar
+// rejects the whole batch without tallying any of its rows.
+var ErrColumnarMismatch = server.ErrColumnarMismatch
+
 // NewStream returns a collection service for the protocol. Ingestion is
 // resolved from the protocol itself — tallier first (TallyProtocol, the
 // zero-allocation path every built-in protocol provides), then a Decoder
