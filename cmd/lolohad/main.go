@@ -1,8 +1,11 @@
 // Command lolohad is the networked collection daemon: one server.Stream
-// behind real sockets.
+// behind real sockets, with durable state and an optional collector tree.
 //
 //	lolohad -spec '{"family":"LOLOHA","k":100,"g":2,"eps_inf":2,"eps1":1}'
 //	lolohad -spec spec.json -http :8080 -tcp :9090 -round 10s
+//	lolohad -spec spec.json -snapshot-dir /var/lib/loloha -snapshot-every 30s
+//	lolohad -spec spec.json -mode root -tcp :9090
+//	lolohad -spec spec.json -mode leaf -parent root:9090 -round 10s
 //
 // HTTP serves the v1 API (enrollment, batched report ingestion, round
 // control, status, a live SSE round stream) and an embedded dashboard at
@@ -11,23 +14,32 @@
 // generators and high-volume collectors (`lolohasim loadgen` drives
 // either). Rounds close on the -round period when reports are pending, or
 // on demand via POST /v1/round/close.
+//
+// Durability: with -snapshot-dir the daemon writes its full state (tally
+// vectors, registration table, round index) as an atomically-replaced
+// LSS1 image — periodically with -snapshot-every and always on SIGTERM /
+// SIGINT after draining in-flight batches — and restores it at startup,
+// refusing an image written under a different protocol spec.
+//
+// Collector tree: -mode root accepts merge traffic (TCP merge frames and
+// POST /v1/merge); -mode leaf -parent host:port ships every closed
+// round's tallies upstream, making the root's rounds bit-identical to a
+// single daemon that saw all reports.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"net"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	// Registers the LOLOHA/BiLOLOHA/OLOLOHA families; the baseline
 	// families register from longitudinal itself.
 	_ "github.com/loloha-ldp/loloha/internal/core"
 	"github.com/loloha-ldp/loloha/internal/longitudinal"
-	"github.com/loloha-ldp/loloha/internal/netserver"
-	"github.com/loloha-ldp/loloha/internal/server"
 )
 
 func main() {
@@ -39,86 +51,37 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("lolohad", flag.ContinueOnError)
-	var (
-		spec     = fs.String("spec", "", "protocol: inline ProtocolSpec JSON (starts with '{') or a path to a spec file (required)")
-		httpAddr = fs.String("http", "127.0.0.1:8080", "HTTP listen address (API + dashboard)")
-		tcpAddr  = fs.String("tcp", "", "raw-frame TCP listen address (empty = disabled)")
-		shards   = fs.Int("shards", 0, "ingestion shards (0 = the stream's default)")
-		round    = fs.Duration("round", 0, "close the round on this period when reports are pending (0 = manual via the API)")
-		roundCap = fs.Int("roundcap", 0, "retained round history and subscriber buffer depth (0 = the stream's default)")
-		maxFrame = fs.Int("maxframe", 0, "max TCP frame body / batch record payload in bytes (0 = 1 MiB)")
-		maxBatch = fs.Int("maxbatch", 0, "max HTTP /v1/reports body in bytes (0 = 8 MiB)")
-	)
+	var o daemonOptions
+	fs.StringVar(&o.spec, "spec", "", "protocol: inline ProtocolSpec JSON (starts with '{') or a path to a spec file (required)")
+	fs.StringVar(&o.mode, "mode", "single", "daemon role: single, root (accepts merge traffic) or leaf (ships closed rounds to -parent)")
+	fs.StringVar(&o.parent, "parent", "", "collector-tree parent's raw-frame TCP address (required with -mode leaf)")
+	fs.StringVar(&o.httpAddr, "http", "127.0.0.1:8080", "HTTP listen address (API + dashboard)")
+	fs.StringVar(&o.tcpAddr, "tcp", "", "raw-frame TCP listen address (empty = disabled)")
+	fs.IntVar(&o.shards, "shards", 0, "ingestion shards (0 = the stream's default)")
+	fs.DurationVar(&o.round, "round", 0, "close the round on this period when reports are pending (0 = manual via the API)")
+	fs.IntVar(&o.roundCap, "roundcap", 0, "retained round history and subscriber buffer depth (0 = the stream's default)")
+	fs.IntVar(&o.maxFrame, "maxframe", 0, "max TCP frame body / batch record payload in bytes (0 = 1 MiB)")
+	fs.IntVar(&o.maxBatch, "maxbatch", 0, "max HTTP /v1/reports body in bytes (0 = 8 MiB)")
+	fs.StringVar(&o.snapDir, "snapshot-dir", "", "directory for the durable state image; restored at startup, written on shutdown (empty = no durability)")
+	fs.DurationVar(&o.snapEvery, "snapshot-every", 0, "also snapshot on this period (0 = only at shutdown; requires -snapshot-dir)")
+	fs.DurationVar(&o.drain, "drain", 5*time.Second, "graceful-shutdown budget for in-flight batches before the final snapshot")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected argument %q (lolohad takes flags only)", fs.Arg(0))
 	}
-	if *spec == "" {
+	if o.spec == "" {
 		fs.Usage()
 		return fmt.Errorf("-spec is required")
 	}
 
-	proto, err := buildProtocol(*spec)
+	d, err := newDaemon(o, os.Stdout)
 	if err != nil {
 		return err
 	}
-	var opts []server.Option
-	if *shards > 0 {
-		opts = append(opts, server.WithShards(*shards))
-	}
-	if *roundCap > 0 {
-		opts = append(opts, server.WithRoundCapacity(*roundCap))
-	}
-	stream, err := server.NewStream(proto, opts...)
-	if err != nil {
-		return err
-	}
-	defer stream.Close()
-
-	srv, err := netserver.New(netserver.Config{
-		Stream:        stream,
-		MaxFrameBytes: *maxFrame,
-		MaxBatchBytes: *maxBatch,
-		RoundEvery:    *round,
-	})
-	if err != nil {
-		return err
-	}
-	defer srv.Close()
-
-	// Listener failures after startup land here; the first one wins and
-	// shuts the daemon down.
-	errc := make(chan error, 2)
-	hl, err := net.Listen("tcp", *httpAddr)
-	if err != nil {
-		return fmt.Errorf("-http %s: %w", *httpAddr, err)
-	}
-	go func() { errc <- srv.ServeHTTP(hl) }()
-	fmt.Printf("lolohad: %s on http://%s (dashboard at /)\n", proto.Name(), hl.Addr())
-	if *tcpAddr != "" {
-		tl, err := net.Listen("tcp", *tcpAddr)
-		if err != nil {
-			return fmt.Errorf("-tcp %s: %w", *tcpAddr, err)
-		}
-		go func() { errc <- srv.ServeTCP(tl) }()
-		fmt.Printf("lolohad: raw-frame ingestion on tcp://%s\n", tl.Addr())
-	}
-	if *round > 0 {
-		fmt.Printf("lolohad: closing rounds every %s when reports are pending\n", *round)
-	}
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case s := <-sig:
-		fmt.Printf("lolohad: %s, shutting down (%d rounds published, %d users enrolled)\n",
-			s, stream.Rounds(), stream.Enrolled())
-		return nil
-	case err := <-errc:
-		return err
-	}
+	signal.Notify(d.sig, os.Interrupt, syscall.SIGTERM)
+	return d.run()
 }
 
 // buildProtocol resolves -spec: inline JSON when the argument looks like a

@@ -32,12 +32,37 @@ type loadgenOptions struct {
 	tcpAddr   string
 	users     int
 	firstID   int
+	partition string
 	rounds    int
 	batch     int
 	workers   int
 	seed      uint64
 	closeEach bool
 	columnar  bool
+}
+
+// applyPartition narrows the run to slice i of K ("-partition i/K"): the
+// user range becomes the i-th of K near-equal blocks of the full range.
+// Client seeds and report values are keyed on the absolute user ID and
+// round, so K partitioned runs (one per collector-tree leaf) ship exactly
+// the reports one full run would — no overlap, nothing missed.
+func (o *loadgenOptions) applyPartition() error {
+	if o.partition == "" {
+		return nil
+	}
+	var i, k int
+	if n, err := fmt.Sscanf(o.partition, "%d/%d", &i, &k); err != nil || n != 2 {
+		return fmt.Errorf("loadgen: -partition %q: want i/K, e.g. 0/2", o.partition)
+	}
+	if k <= 0 || i < 0 || i >= k {
+		return fmt.Errorf("loadgen: -partition %q: need 0 <= i < K", o.partition)
+	}
+	lo, hi := o.firstID+i*o.users/k, o.firstID+(i+1)*o.users/k
+	if lo == hi {
+		return fmt.Errorf("loadgen: -partition %s of %d users is empty", o.partition, o.users)
+	}
+	o.firstID, o.users = lo, hi-lo
+	return nil
 }
 
 func loadgenCmd(args []string) error {
@@ -48,6 +73,7 @@ func loadgenCmd(args []string) error {
 	fs.StringVar(&o.tcpAddr, "tcp", "", "daemon raw-frame TCP address; when set, enrollment and reports go over TCP frames instead of HTTP")
 	fs.IntVar(&o.users, "users", 10_000, "synthetic users to enroll")
 	fs.IntVar(&o.firstID, "firstid", 0, "first user ID (separate runs against one daemon need disjoint ID ranges)")
+	fs.StringVar(&o.partition, "partition", "", "drive only slice i/K of the user range (collector-tree leaves: one loadgen per leaf, same -users and -seed)")
 	fs.IntVar(&o.rounds, "rounds", 5, "collection rounds to push")
 	fs.IntVar(&o.batch, "batch", 1024, "reports per batch body (HTTP and columnar)")
 	fs.BoolVar(&o.columnar, "columnar", false, "push reports as columnar batches (columnar TCP frames / "+netserver.ContentTypeColumnar+" bodies)")
@@ -63,6 +89,9 @@ func loadgenCmd(args []string) error {
 	}
 	if o.firstID < 0 {
 		return fmt.Errorf("loadgen: -firstid must be non-negative")
+	}
+	if err := o.applyPartition(); err != nil {
+		return err
 	}
 	if o.workers <= 0 {
 		o.workers = runtime.GOMAXPROCS(0)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -122,6 +123,45 @@ func TestSpecFileSelection(t *testing.T) {
 	}
 	if _, err := specsFor(options{specFile: filepath.Join(t.TempDir(), "missing.json")}, ds); err == nil {
 		t.Error("missing spec file accepted")
+	}
+}
+
+func TestLoadgenPartition(t *testing.T) {
+	// The K slices must tile the full ID range exactly: no overlap, no gap,
+	// including when K does not divide the user count.
+	for _, tc := range []struct {
+		users, firstID, k int
+	}{
+		{100, 0, 2}, {100, 7, 3}, {101, 0, 4}, {5, 2, 5},
+	} {
+		next := tc.firstID
+		for i := 0; i < tc.k; i++ {
+			o := loadgenOptions{users: tc.users, firstID: tc.firstID,
+				partition: fmt.Sprintf("%d/%d", i, tc.k)}
+			if err := o.applyPartition(); err != nil {
+				t.Fatalf("partition %d/%d of %d users: %v", i, tc.k, tc.users, err)
+			}
+			if o.firstID != next {
+				t.Fatalf("partition %d/%d starts at %d, want %d (gap or overlap)", i, tc.k, o.firstID, next)
+			}
+			next = o.firstID + o.users
+		}
+		if next != tc.firstID+tc.users {
+			t.Fatalf("partitions of %d users cover [..%d), want [..%d)", tc.users, next, tc.firstID+tc.users)
+		}
+	}
+
+	// "0/2" of a single user is the empty slice [0,0): rejected, while the
+	// slice that does hold the user works.
+	for _, bad := range []string{"x", "1", "2/2", "3/2", "-1/2", "0/0", "0/2"} {
+		o := loadgenOptions{users: 1, partition: bad}
+		if err := o.applyPartition(); err == nil {
+			t.Errorf("partition %q accepted", bad)
+		}
+	}
+	o := loadgenOptions{users: 1, partition: "1/2"}
+	if err := o.applyPartition(); err != nil || o.users != 1 || o.firstID != 0 {
+		t.Errorf("partition 1/2 of 1 user = %+v, %v", o, err)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"net"
 
 	"github.com/loloha-ldp/loloha/internal/longitudinal"
+	"github.com/loloha-ldp/loloha/internal/persist"
 	"github.com/loloha-ldp/loloha/internal/server"
 )
 
@@ -54,6 +55,13 @@ const (
 	// protocol error (the producer's encoder is misconfigured) and drops
 	// the connection; per-report rejections only bump counters.
 	FrameColumnar = 0x04
+	// FrameMerge carries one LSS1 snapshot image (persist.Append bytes) of
+	// merged tallies from a collector-tree leaf. Only a root daemon
+	// (Config.AcceptMerges) accepts it; elsewhere it is an unknown frame.
+	// A body that fails to decode or whose spec hash disagrees with the
+	// server's protocol drops the connection, exactly like a mismatched
+	// columnar batch: the producer is misconfigured, not the data.
+	FrameMerge = 0x05
 	// FrameAck is the server's reply to FrameFlush.
 	FrameAck = 0x80
 
@@ -110,6 +118,17 @@ func AppendColumnarFrame(dst []byte, batch []byte) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(batch)))
 	dst = append(dst, FrameColumnar)
 	return append(dst, batch...)
+}
+
+// AppendMergeFrame appends a merge frame to dst. snap is an encoded LSS1
+// snapshot image (persist.Append bytes); merged reports are confirmed
+// through the ack's Reports counter like ordinary report frames.
+//
+//loloha:noalloc
+func AppendMergeFrame(dst []byte, snap []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(snap)))
+	dst = append(dst, FrameMerge)
+	return append(dst, snap...)
 }
 
 // AppendFlushFrame appends a flush frame to dst.
@@ -190,6 +209,10 @@ func (c *tcpConn) serve() {
 		case FrameColumnar:
 			if !c.handleColumnar(body) {
 				return // undecodable or wrong-protocol batch: protocol error
+			}
+		case FrameMerge:
+			if !c.handleMerge(body) {
+				return // not a root, undecodable, or wrong-protocol snapshot
 			}
 		case FrameEnroll:
 			c.handleEnroll(body)
@@ -273,6 +296,34 @@ func (c *tcpConn) handleColumnar(body []byte) bool {
 	rejected := uint64(countJoined(err))
 	c.reports += n - rejected
 	c.reportRejected += rejected
+	return true
+}
+
+// handleMerge applies one merge frame: decode the LSS1 image and add its
+// tallies into the stream's open round. Returns false on a protocol
+// error — a daemon that is not a root (Config.AcceptMerges unset), a body
+// that fails structural decoding, or a snapshot whose spec hash disagrees
+// with the server's protocol (server.ErrSnapshotMismatch): all mean the
+// sender is misconfigured, which, like framing corruption, is not
+// survivable. Merged reports ride the connection's reports counter, so a
+// leaf confirms delivery through the ordinary flush/ack round trip.
+func (c *tcpConn) handleMerge(body []byte) bool {
+	if !c.srv.acceptMerges {
+		return false
+	}
+	snap, err := persist.Decode(body)
+	if err != nil {
+		c.srv.mergeBad.Add(1)
+		return false
+	}
+	n, err := c.srv.stream.MergeRemote(snap)
+	if err != nil {
+		c.srv.mergeBad.Add(1)
+		return false
+	}
+	c.reports += uint64(n)
+	c.srv.mergeFrames.Add(1)
+	c.srv.mergeReports.Add(uint64(n))
 	return true
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"github.com/loloha-ldp/loloha/internal/core"
 	"github.com/loloha-ldp/loloha/internal/longitudinal"
+	"github.com/loloha-ldp/loloha/internal/persist"
 	"github.com/loloha-ldp/loloha/internal/server"
 )
 
@@ -60,6 +61,74 @@ func FuzzFrameStream(f *testing.F) {
 			bw:  bufio.NewWriter(io.Discard),
 		}
 		c.serve()
+	})
+}
+
+// FuzzMergeFrame drives a collector root's connection loop with an
+// arbitrary merge-frame body. Like the other frame types the body is
+// attacker-controlled bytes reaching persist.Decode and MergeRemote
+// before any authentication: serve must terminate without panicking, and
+// a rejected body must drop the connection without tallying anything.
+func FuzzMergeFrame(f *testing.F) {
+	proto, err := core.NewBinary(16, 2, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Seeds: a matching tally-only snapshot (the leaf wire form), a
+	// full-state snapshot with a user table, a mismatched-spec image, and
+	// structured garbage.
+	leaf, err := server.NewStream(proto, server.WithShards(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	cl := proto.NewClient(3).(longitudinal.AppendReporter)
+	if err := leaf.Enroll(3, cl.WireRegistration()); err != nil {
+		f.Fatal(err)
+	}
+	if err := leaf.Ingest(3, cl.AppendReport(nil, 5)); err != nil {
+		f.Fatal(err)
+	}
+	var full bytes.Buffer
+	if err := leaf.Snapshot(&full); err != nil {
+		f.Fatal(err)
+	}
+	_, snap, err := leaf.CloseRoundExport()
+	if err != nil {
+		f.Fatal(err)
+	}
+	tallyOnly, err := persist.Append(nil, snap)
+	if err != nil {
+		f.Fatal(err)
+	}
+	leaf.Close()
+	f.Add(tallyOnly)
+	f.Add(full.Bytes())
+	f.Add(tallyOnly[:len(tallyOnly)/2])
+	f.Add([]byte("LSS1 but not really"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		stream, err := server.NewStream(proto, server.WithShards(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer stream.Close()
+		srv, err := New(Config{Stream: stream, AcceptMerges: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		wire := AppendMergeFrame(nil, data)
+		wire = AppendFlushFrame(wire)
+		c := &tcpConn{
+			srv: srv,
+			br:  bufio.NewReader(bytes.NewReader(wire)),
+			bw:  bufio.NewWriter(io.Discard),
+		}
+		c.serve()
+		// Whatever the bytes were, the stream must still close a coherent
+		// round afterwards.
+		stream.CloseRound()
 	})
 }
 

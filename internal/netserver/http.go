@@ -11,6 +11,7 @@ import (
 
 	"github.com/loloha-ldp/loloha/internal/heavyhitter"
 	"github.com/loloha-ldp/loloha/internal/longitudinal"
+	"github.com/loloha-ldp/loloha/internal/persist"
 	"github.com/loloha-ldp/loloha/internal/server"
 )
 
@@ -20,6 +21,7 @@ import (
 //
 //	POST /v1/enroll       {"user_id":7,"hash_seed":9,"sampled":[1,2]}
 //	POST /v1/reports      binary batch body → {"received":N,"rejected":M}
+//	POST /v1/merge        binary LSS1 snapshot body → {"merged":N} (collector roots only)
 //	POST /v1/round/close  → RoundResult of the closed round
 //	GET  /v1/rounds/{t}   → RoundResult of round t
 //	GET  /v1/status       → daemon + stream counters and the protocol spec
@@ -65,6 +67,7 @@ type statusJSON struct {
 	TCP           ingestStatsJSON            `json:"tcp"`
 	HTTP          httpStatsJSON              `json:"http"`
 	SSE           sseStatsJSON               `json:"sse"`
+	Merge         *mergeStatsJSON            `json:"merge,omitempty"`
 }
 
 type ingestStatsJSON struct {
@@ -85,10 +88,26 @@ type sseStatsJSON struct {
 	DroppedRounds uint64 `json:"dropped_rounds"`
 }
 
+// mergeStatsJSON reports collector-tree traffic. Present only when the
+// daemon participates in a tree: Frames/Reports/Rejected count inbound
+// merges (roots), Shipped/ShipFailed count outbound rounds (leaves).
+type mergeStatsJSON struct {
+	Frames     uint64 `json:"frames"`
+	Reports    uint64 `json:"reports"`
+	Rejected   uint64 `json:"rejected"`
+	Shipped    uint64 `json:"shipped,omitempty"`
+	ShipFailed uint64 `json:"ship_failed,omitempty"`
+}
+
 func (s *Server) newMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/enroll", s.handleEnroll)
 	mux.HandleFunc("POST /v1/reports", s.handleReports)
+	if s.acceptMerges {
+		// Leaves have no merge endpoint at all: a misrouted snapshot is a
+		// 404, not a silent double count.
+		mux.HandleFunc("POST /v1/merge", s.handleMergeHTTP)
+	}
 	mux.HandleFunc("POST /v1/round/close", s.handleRoundClose)
 	mux.HandleFunc("GET /v1/rounds/{t}", s.handleRound)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
@@ -234,8 +253,47 @@ func countJoined(err error) int {
 	return 1
 }
 
+// handleMergeHTTP is the HTTP transport for collector-tree merges: the
+// body is one LSS1 snapshot image, the response reports how many tallied
+// reports it carried. Registered only when AcceptMerges is set.
+func (s *Server) handleMergeHTTP(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, int64(s.maxBatch)))
+	if err != nil {
+		s.mergeBad.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("netserver: reading merge body: %w", err))
+		return
+	}
+	snap, err := persist.Decode(body)
+	if err != nil {
+		s.mergeBad.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	n, err := s.stream.MergeRemote(snap)
+	if err != nil {
+		// Spec mismatch or a mid-decode state error: like ErrColumnarMismatch
+		// on the report path, the whole payload is for another protocol
+		// configuration, so nothing was applied.
+		s.mergeBad.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mergeFrames.Add(1)
+	s.mergeReports.Add(uint64(n))
+	writeJSON(w, http.StatusOK, map[string]int{"merged": n})
+}
+
 func (s *Server) handleRoundClose(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, toRoundJSON(s.stream.CloseRound()))
+	res, err := s.closeRound()
+	if err != nil {
+		// The round DID close locally; shipping to the parent failed and the
+		// tallies were folded back into the next round. Report both.
+		writeJSON(w, http.StatusOK, map[string]any{
+			"round": toRoundJSON(res), "ship_error": err.Error(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, toRoundJSON(res))
 }
 
 func (s *Server) handleRound(w http.ResponseWriter, r *http.Request) {
@@ -275,6 +333,15 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	if spec, ok := longitudinal.SpecOf(proto); ok {
 		st.Spec = &spec
+	}
+	if s.acceptMerges || s.upstream != nil {
+		st.Merge = &mergeStatsJSON{
+			Frames:     s.mergeFrames.Load(),
+			Reports:    s.mergeReports.Load(),
+			Rejected:   s.mergeBad.Load(),
+			Shipped:    s.shipped.Load(),
+			ShipFailed: s.shipFailed.Load(),
+		}
 	}
 	st.SSE.Clients, st.SSE.DroppedRounds = s.hub.stats()
 	writeJSON(w, http.StatusOK, st)

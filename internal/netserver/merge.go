@@ -1,0 +1,120 @@
+package netserver
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/loloha-ldp/loloha/internal/persist"
+)
+
+// MergeClient ships snapshot tallies to a collector-tree parent over one
+// raw-frame TCP connection: each Send writes a merge frame followed by a
+// flush, and confirms delivery through the ack's cumulative Reports
+// counter — the same one-way-frames-plus-explicit-sync contract the
+// report path uses, so a confirmed Send means the parent has applied the
+// tallies, not merely received the bytes.
+//
+// The client reconnects lazily: a Send after a transport error redials.
+// It is safe for concurrent use; Sends serialize.
+type MergeClient struct {
+	addr    string
+	timeout time.Duration
+
+	mu    sync.Mutex
+	nc    net.Conn
+	bw    *bufio.Writer
+	buf   []byte // frame scratch, reused across Sends
+	acked uint64 // cumulative Reports from the last ack
+}
+
+// DialMerge returns a merge client for the parent at addr (a raw-frame
+// TCP address, not HTTP). The first connection is established eagerly so
+// a mistyped parent fails at startup, not at the first round. timeout
+// bounds each Send's dial and round trip; 0 means 10s.
+func DialMerge(addr string, timeout time.Duration) (*MergeClient, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	c := &MergeClient{addr: addr, timeout: timeout}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Addr returns the parent's address.
+func (c *MergeClient) Addr() string { return c.addr }
+
+func (c *MergeClient) connectLocked() error {
+	nc, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return fmt.Errorf("netserver: dialing merge parent %s: %w", c.addr, err)
+	}
+	c.nc = nc
+	c.bw = bufio.NewWriterSize(nc, 64<<10)
+	c.acked = 0 // counters are connection-lifetime
+	return nil
+}
+
+// Send ships one snapshot and returns the number of reports the parent
+// confirmed merging. On any transport or protocol error the connection
+// is dropped (the next Send redials) and the snapshot is NOT applied —
+// the parent rejects mismatched or undecodable snapshots by closing the
+// connection, which surfaces here as an ack read error.
+func (c *MergeClient) Send(snap *persist.Snapshot) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.nc == nil {
+		if err := c.connectLocked(); err != nil {
+			return 0, err
+		}
+	}
+	var err error
+	c.buf, err = persist.Append(c.buf[:0], snap)
+	if err != nil {
+		return 0, fmt.Errorf("netserver: encoding merge snapshot: %w", err)
+	}
+	frame := AppendMergeFrame(nil, c.buf)
+	frame = AppendFlushFrame(frame)
+	c.nc.SetDeadline(time.Now().Add(c.timeout))
+	if _, err := c.bw.Write(frame); err != nil {
+		c.dropLocked()
+		return 0, fmt.Errorf("netserver: writing merge frame to %s: %w", c.addr, err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.dropLocked()
+		return 0, fmt.Errorf("netserver: writing merge frame to %s: %w", c.addr, err)
+	}
+	ack, err := ReadAck(c.nc)
+	if err != nil {
+		c.dropLocked()
+		return 0, fmt.Errorf("netserver: merge rejected by %s (mismatched snapshot drops the connection): %w", c.addr, err)
+	}
+	merged := ack.Reports - c.acked
+	c.acked = ack.Reports
+	return int(merged), nil
+}
+
+// Close closes the connection; a later Send redials.
+func (c *MergeClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.nc == nil {
+		return nil
+	}
+	err := c.nc.Close()
+	c.nc, c.bw = nil, nil
+	return err
+}
+
+func (c *MergeClient) dropLocked() {
+	if c.nc != nil {
+		c.nc.Close()
+	}
+	c.nc, c.bw = nil, nil
+}

@@ -25,6 +25,7 @@
 package netserver
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -55,6 +56,18 @@ type Config struct {
 	// (the hub mirrors Stream's WithRoundCapacity drop-not-block policy).
 	// Default 16.
 	SSECapacity int
+	// AcceptMerges makes this daemon a collector-tree root: merge frames
+	// (TCP 0x05) and POST /v1/merge add leaf tallies into the stream's
+	// open round. Off by default — a merge frame at a non-root is an
+	// unknown frame and drops the connection.
+	AcceptMerges bool
+	// Upstream makes this daemon a collector-tree leaf: instead of merely
+	// closing rounds, the round timer and POST /v1/round/close export each
+	// round's merged tallies and ship them to the parent through this
+	// client. The leaf still publishes its local RoundResult (its user
+	// partition's estimates). A daemon may set both AcceptMerges and
+	// Upstream — an interior node of a deeper tree.
+	Upstream *MergeClient
 }
 
 // Server is the daemon engine: listeners, connection registry, SSE hub
@@ -62,13 +75,15 @@ type Config struct {
 // listeners with ServeTCP/ServeHTTP (or mount Handler in a test server),
 // stop with Close.
 type Server struct {
-	stream    *server.Stream
-	maxFrame  int
-	maxBatch  int
-	hub       *hub
-	mux       *http.ServeMux
-	roundTick time.Duration
-	started   time.Time
+	stream       *server.Stream
+	maxFrame     int
+	maxBatch     int
+	hub          *hub
+	mux          *http.ServeMux
+	roundTick    time.Duration
+	started      time.Time
+	acceptMerges bool
+	upstream     *MergeClient
 
 	// Live counters, all monotonic except tcpLive.
 	tcpTotal     atomic.Uint64
@@ -78,13 +93,29 @@ type Server struct {
 	httpBatches  atomic.Uint64
 	httpReports  atomic.Uint64
 	httpRejected atomic.Uint64
+	mergeFrames  atomic.Uint64 // root: merge frames/requests applied
+	mergeReports atomic.Uint64 // root: reports merged from leaves
+	mergeBad     atomic.Uint64 // root: undecodable or mismatched merges
+	shipped      atomic.Uint64 // leaf: rounds shipped upstream
+	shipFailed   atomic.Uint64 // leaf: failed ships (tallies re-imported)
 
 	mu        sync.Mutex
 	listeners []net.Listener
-	conns     map[net.Conn]struct{}
-	closed    bool
-	done      chan struct{}
-	wg        sync.WaitGroup
+	// tcpListeners is the raw-frame subset of listeners: Drain closes
+	// these directly (stopping new connections) while the HTTP listeners
+	// shut down gracefully through their http.Server.
+	tcpListeners []net.Listener
+	httpSrvs     []*http.Server
+	conns        map[net.Conn]struct{}
+	draining     bool
+	closed       bool
+	done         chan struct{}
+	wg           sync.WaitGroup
+	// connWg tracks TCP connection goroutines separately from the
+	// engine's own (forwardRounds, roundTimer), so Drain can wait for
+	// in-flight frames without deadlocking on goroutines that only exit
+	// at Close.
+	connWg sync.WaitGroup
 }
 
 // New returns an engine fronting cfg.Stream. The SSE hub subscribes to
@@ -111,14 +142,16 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("netserver: SSECapacity must be at least 1, got %d", cfg.SSECapacity)
 	}
 	s := &Server{
-		stream:    cfg.Stream,
-		maxFrame:  cfg.MaxFrameBytes,
-		maxBatch:  cfg.MaxBatchBytes,
-		hub:       newHub(cfg.SSECapacity),
-		roundTick: cfg.RoundEvery,
-		started:   time.Now(),
-		conns:     map[net.Conn]struct{}{},
-		done:      make(chan struct{}),
+		stream:       cfg.Stream,
+		maxFrame:     cfg.MaxFrameBytes,
+		maxBatch:     cfg.MaxBatchBytes,
+		hub:          newHub(cfg.SSECapacity),
+		roundTick:    cfg.RoundEvery,
+		started:      time.Now(),
+		acceptMerges: cfg.AcceptMerges,
+		upstream:     cfg.Upstream,
+		conns:        map[net.Conn]struct{}{},
+		done:         make(chan struct{}),
 	}
 	s.mux = s.newMux()
 	s.wg.Add(1)
@@ -153,6 +186,8 @@ func (s *Server) forwardRounds() {
 }
 
 // roundTimer closes the round every RoundEvery while reports are pending.
+// A leaf (Config.Upstream) ships each closed round's tallies upstream
+// instead of only publishing locally.
 func (s *Server) roundTimer() {
 	defer s.wg.Done()
 	t := time.NewTicker(s.roundTick)
@@ -161,12 +196,41 @@ func (s *Server) roundTimer() {
 		select {
 		case <-t.C:
 			if s.stream.Pending() > 0 {
-				s.stream.CloseRound()
+				s.closeRound()
 			}
 		case <-s.done:
 			return
 		}
 	}
+}
+
+// closeRound closes the stream's round through the daemon's role: a leaf
+// exports the tallies and ships them upstream, everything else just
+// closes. The returned error is the ship failure, if any; the local
+// RoundResult is published either way.
+func (s *Server) closeRound() (server.RoundResult, error) {
+	if s.upstream == nil {
+		return s.stream.CloseRound(), nil
+	}
+	res, snap, err := s.stream.CloseRoundExport()
+	if err != nil {
+		// The aggregator cannot export (an external protocol without the
+		// snapshot contract): the round still closes.
+		return s.stream.CloseRound(), err
+	}
+	if _, err := s.upstream.Send(snap); err != nil {
+		// Failed ship: fold the tallies back into the now-open round so
+		// the next successful ship carries them — they arrive late (in
+		// the parent's later round) but are never lost. Snapshots are
+		// not consumed by a failed Send, so the re-import is exact.
+		s.shipFailed.Add(1)
+		if _, mergeErr := s.stream.MergeRemote(snap); mergeErr != nil {
+			return res, fmt.Errorf("netserver: ship failed (%w) and re-import failed (%v)", err, mergeErr)
+		}
+		return res, fmt.Errorf("netserver: shipping round %d upstream: %w", res.Round, err)
+	}
+	s.shipped.Add(1)
+	return res, nil
 }
 
 // ServeTCP accepts raw-frame connections on l until l or the server
@@ -177,6 +241,9 @@ func (s *Server) ServeTCP(l net.Listener) error {
 		l.Close()
 		return fmt.Errorf("netserver: server closed")
 	}
+	s.mu.Lock()
+	s.tcpListeners = append(s.tcpListeners, l)
+	s.mu.Unlock()
 	for {
 		nc, err := l.Accept()
 		if err != nil {
@@ -184,6 +251,9 @@ func (s *Server) ServeTCP(l net.Listener) error {
 			case <-s.done:
 				return nil // closed by Close; not an error
 			default:
+				if s.isDraining() {
+					return nil // listener closed by Drain; not an error
+				}
 				return err
 			}
 		}
@@ -194,13 +264,21 @@ func (s *Server) ServeTCP(l net.Listener) error {
 		s.tcpTotal.Add(1)
 		s.tcpLive.Add(1)
 		s.wg.Add(1)
+		s.connWg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.connWg.Done()
 			defer s.untrackConn(nc)
 			defer s.tcpLive.Add(-1)
 			newTCPConn(s, nc).serve()
 		}()
 	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // ServeHTTP serves the daemon's HTTP API on l until l or the server
@@ -211,11 +289,20 @@ func (s *Server) ServeHTTP(l net.Listener) error {
 		return fmt.Errorf("netserver: server closed")
 	}
 	srv := &http.Server{Handler: s.mux}
+	s.mu.Lock()
+	s.httpSrvs = append(s.httpSrvs, srv)
+	s.mu.Unlock()
 	err := srv.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil // Drain shut it down gracefully
+	}
 	select {
 	case <-s.done:
 		return nil
 	default:
+		if s.isDraining() {
+			return nil
+		}
 		return err
 	}
 }
@@ -250,6 +337,63 @@ func (s *Server) untrackConn(nc net.Conn) {
 	defer s.mu.Unlock()
 	delete(s.conns, nc)
 	nc.Close()
+}
+
+// Drain gracefully quiesces ingestion within the timeout: new
+// connections stop (listeners close), in-flight HTTP requests finish
+// (http.Server.Shutdown), and live TCP connections get until the
+// deadline to be consumed — frames already buffered in a connection are
+// read and applied, so a batch in flight when shutdown begins still
+// tallies before the final snapshot, instead of being cut off mid-frame.
+// A connection still open at the deadline is abandoned to Close.
+//
+// Drain does not stop the engine: call Close afterwards. The intended
+// shutdown sequence of a durable daemon is Drain → Stream.Snapshot →
+// Close, so the snapshot includes everything the sockets delivered.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	tcpLs := append([]net.Listener(nil), s.tcpListeners...)
+	httpSrvs := append([]*http.Server(nil), s.httpSrvs...)
+	conns := make([]net.Conn, 0, len(s.conns))
+	for nc := range s.conns {
+		conns = append(conns, nc)
+	}
+	s.mu.Unlock()
+
+	deadline := time.Now().Add(timeout)
+	for _, l := range tcpLs {
+		l.Close()
+	}
+	// A read deadline lets each connection loop consume everything already
+	// buffered and then exit on the timeout (or earlier, on the client's
+	// EOF) instead of blocking in ReadFull forever.
+	for _, nc := range conns {
+		nc.SetReadDeadline(deadline)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	var err error
+	for _, srv := range httpSrvs {
+		if e := srv.Shutdown(ctx); e != nil && err == nil {
+			err = fmt.Errorf("netserver: draining HTTP: %w", e)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		s.connWg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Until(deadline)):
+		err = fmt.Errorf("netserver: drain deadline passed with TCP connections still open")
+	}
+	return err
 }
 
 // Close stops the daemon: listeners and live connections close, the round

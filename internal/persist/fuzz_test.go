@@ -1,0 +1,55 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"github.com/loloha-ldp/loloha/internal/longitudinal"
+)
+
+// FuzzSnapshotDecode drives the snapshot decoder with hostile bytes: a
+// malformed image must error without panicking or over-allocating, and a
+// successfully decoded image must re-encode byte-identically (the
+// canonical-form contract every other codec in this repository pins).
+func FuzzSnapshotDecode(f *testing.F) {
+	seed, err := Append(nil, &Snapshot{
+		SpecHash: 42,
+		Round:    3,
+		HasUsers: true,
+		Shards: []Shard{
+			{
+				Counts:  []int64{1, -2, 3},
+				N:       2,
+				Tallied: 2,
+				Users: []User{
+					{ID: 1, Reg: longitudinal.Registration{HashSeed: 9}, Reported: true},
+					{ID: 4, Reg: longitudinal.Registration{Sampled: []int{0, 2}}},
+				},
+			},
+			{Counts: []int64{0, 0, 0}},
+		},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)-5])
+	f.Add([]byte(Magic))
+	trunc := append([]byte(nil), seed...)
+	binary.LittleEndian.PutUint32(trunc[16:], 1<<14) // hostile shard count
+	f.Add(trunc)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc, err := Append(nil, s)
+		if err != nil {
+			t.Fatalf("decoded snapshot does not re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("valid image is not canonical:\n in %x\nout %x", data, enc)
+		}
+	})
+}

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/loloha-ldp/loloha/internal/longitudinal"
+	"github.com/loloha-ldp/loloha/internal/persist"
+)
+
+// Durability and the collector tree. A stream's open-round state is
+// per-shard (counts, n) integer tallies plus the registration tables, all
+// of which the persist codec serializes exactly — so a snapshot taken
+// mid-round and restored later ends the round bit-identically to an
+// uninterrupted run, and a root stream that MergeRemotes the exported
+// tallies of K leaves estimates bit-identically to a single stream that
+// ingested every report itself.
+
+// ErrSnapshotMismatch reports a snapshot produced under a different
+// protocol configuration than the stream's: its spec hash disagrees. The
+// whole snapshot is rejected — restoring or merging tallies across
+// protocol parameters would corrupt every estimate, exactly the
+// whole-batch fault ErrColumnarMismatch guards on the ingestion path.
+var ErrSnapshotMismatch = errors.New("snapshot does not match the stream's protocol")
+
+// snapshotTallier resolves the aggregator's export/import contract; every
+// aggregator in this repository implements it (wirecontract pins the
+// assertions), but a stream can front an external protocol that doesn't.
+func snapshotTallier(agg longitudinal.Aggregator) (longitudinal.SnapshotTallier, error) {
+	st, ok := agg.(longitudinal.SnapshotTallier)
+	if !ok {
+		return nil, fmt.Errorf("server: aggregator %T does not implement longitudinal.SnapshotTallier", agg)
+	}
+	return st, nil
+}
+
+// Snapshot writes the stream's full open-round state — every shard's
+// tallies, registration table and reported bits, plus the open round's
+// index — as one LSS1 image. It excludes all ingestion for the copy (the
+// same barrier CloseRound takes) but encodes and writes after releasing
+// the locks, so a slow disk never stalls ingestion longer than the copy.
+func (s *Stream) Snapshot(w io.Writer) error {
+	snap, err := s.exportState()
+	if err != nil {
+		return err
+	}
+	return persist.Write(w, snap)
+}
+
+// exportState deep-copies the stream's open-round state under the round
+// barrier.
+func (s *Stream) exportState() (*persist.Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := &persist.Snapshot{
+		SpecHash: s.specHash,
+		Round:    s.baseRound + len(s.results),
+		HasUsers: true,
+		Shards:   make([]persist.Shard, len(s.shards)),
+	}
+	for i, sh := range s.shards {
+		st, err := snapshotTallier(sh.agg)
+		if err != nil {
+			return nil, err
+		}
+		dst := &snap.Shards[i]
+		dst.Counts, dst.N = st.ExportTally(nil)
+		dst.Tallied = sh.tallied
+		dst.Users = make([]persist.User, 0, len(sh.slots))
+		for userID, slot := range sh.slots {
+			dst.Users = append(dst.Users, persist.User{
+				ID:       userID,
+				Reg:      sh.regs[slot],
+				Reported: sh.reported.Get(slot),
+			})
+		}
+		// The codec demands ascending IDs (canonical form); sorting also
+		// makes the image independent of map iteration order.
+		sort.Slice(dst.Users, func(a, b int) bool { return dst.Users[a].ID < dst.Users[b].ID })
+	}
+	return snap, nil
+}
+
+// RestoreStream rebuilds a stream from a snapshot written by Snapshot.
+// proto must be configured identically to the producing stream's protocol
+// (the spec hashes must agree; ErrSnapshotMismatch otherwise), but opts
+// need not match the original options: users re-partition onto the new
+// shard count deterministically (shard assignment is a pure hash of the
+// user ID), and all tallies land in shard 0, which is exact because
+// CloseRound merges every shard before estimating. Rounds published
+// before the snapshot are not retained: Rounds continues from the
+// snapshot's round index and Round(t) errors for earlier t.
+func RestoreStream(r io.Reader, proto longitudinal.Protocol, opts ...Option) (*Stream, error) {
+	snap, err := persist.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewStream(proto, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if snap.SpecHash != s.specHash {
+		return nil, fmt.Errorf("server: snapshot spec hash %#016x, stream has %#016x: %w",
+			snap.SpecHash, s.specHash, ErrSnapshotMismatch)
+	}
+	if !snap.HasUsers {
+		return nil, fmt.Errorf("server: tally-only snapshot cannot restore a stream (no registration tables)")
+	}
+	st0, err := snapshotTallier(s.shards[0].agg)
+	if err != nil {
+		return nil, err
+	}
+	for si := range snap.Shards {
+		src := &snap.Shards[si]
+		for ui := range src.Users {
+			u := &src.Users[ui]
+			sh := s.shardOf(u.ID)
+			if err := sh.enroll(u.ID, u.Reg); err != nil {
+				return nil, fmt.Errorf("server: restoring user %d: %w", u.ID, err)
+			}
+			if u.Reported {
+				sh.reported.Set(sh.slots[u.ID], true)
+			}
+		}
+		if err := st0.ImportTally(src.Counts, src.N); err != nil {
+			return nil, fmt.Errorf("server: restoring shard %d tallies: %w", si, err)
+		}
+		s.shards[0].tallied += src.Tallied
+	}
+	s.baseRound = snap.Round
+	return s, nil
+}
+
+// MergeRemote adds a snapshot's tallies into the stream's open round —
+// the root half of the collector tree. Only tallies move: registration
+// sections, if present, stay with the producing leaf (the root never owns
+// a leaf's users). Returns the number of reports merged. A snapshot whose
+// spec hash disagrees with the stream's protocol is rejected whole with
+// ErrSnapshotMismatch, mirroring the columnar batch contract.
+func (s *Stream) MergeRemote(snap *persist.Snapshot) (int, error) {
+	if snap.SpecHash != s.specHash {
+		return 0, fmt.Errorf("server: snapshot spec hash %#016x, stream has %#016x: %w",
+			snap.SpecHash, s.specHash, ErrSnapshotMismatch)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sh := s.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, err := snapshotTallier(sh.agg)
+	if err != nil {
+		return 0, err
+	}
+	merged := 0
+	for si := range snap.Shards {
+		src := &snap.Shards[si]
+		if err := st.ImportTally(src.Counts, src.N); err != nil {
+			// The length check precedes any mutation, and every shard
+			// section of one protocol has the same tally length, so a
+			// failure here means nothing was imported.
+			return 0, fmt.Errorf("server: merging shard %d: %w", si, err)
+		}
+		sh.tallied += src.Tallied
+		merged += src.Tallied
+	}
+	return merged, nil
+}
+
+// CloseRoundExport closes the current round exactly like CloseRound and
+// additionally returns the round's merged tallies as a one-shard,
+// tally-only snapshot — the leaf half of the collector tree: the leaf
+// publishes its local RoundResult (its partition's estimates) and ships
+// the snapshot to the root, whose MergeRemote recovers the global counts.
+func (s *Stream) CloseRoundExport() (RoundResult, *persist.Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	target := s.shards[0].agg
+	if s.merge != nil {
+		target = s.merge
+	}
+	st, err := snapshotTallier(target)
+	if err != nil {
+		return RoundResult{}, nil, err
+	}
+	round := s.baseRound + len(s.results)
+	// Merge the shard tallies into the round target first — exactly what
+	// closeRoundLocked does — so the export sees the full round; EndRound
+	// inside closeRoundLocked then finds the counts already merged, which
+	// is idempotent (merging moves counts, it does not copy them).
+	if s.merge != nil {
+		for _, sh := range s.shards {
+			s.merge.Merge(sh.agg)
+		}
+	}
+	snap := &persist.Snapshot{SpecHash: s.specHash, Round: round, Shards: make([]persist.Shard, 1)}
+	snap.Shards[0].Counts, snap.Shards[0].N = st.ExportTally(nil)
+	res := s.closeRoundLocked(0)
+	snap.Shards[0].Tallied = res.Reports
+	return res, snap, nil
+}

@@ -70,6 +70,12 @@ type Stream struct {
 	dropped  uint64
 	closed   bool
 
+	// baseRound offsets round indices after RestoreStream: the snapshot's
+	// open round was baseRound, rounds published before it are not
+	// retained, and results[i] holds round baseRound+i. Zero for a stream
+	// that never restored.
+	baseRound int
+
 	// Simulation cohort (nil unless WithCohort).
 	clients   []longitudinal.Client
 	collector *longitudinal.ShardedCollector
@@ -839,7 +845,7 @@ func (s *Stream) closeRoundLocked(extraReports int) RoundResult {
 	estimates := append([]float64(nil), raw...)
 	estimates = postprocess.Apply(s.pp, estimates)
 	res := RoundResult{
-		Round:     len(s.results),
+		Round:     s.baseRound + len(s.results),
 		Reports:   reports,
 		Raw:       raw,
 		Estimates: estimates,
@@ -907,17 +913,26 @@ func (s *Stream) Close() {
 func (s *Stream) Round(t int) (RoundResult, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if t < 0 || t >= len(s.results) {
-		return RoundResult{}, fmt.Errorf("server: round %d not published (have %d)", t, len(s.results))
+	if t >= s.baseRound && t < s.baseRound+len(s.results) {
+		return s.results[t-s.baseRound].clone(), nil
 	}
-	return s.results[t].clone(), nil
+	if t >= 0 && t < s.baseRound {
+		// Published before the snapshot this stream restored from; the
+		// history was not serialized (only the open round's state is).
+		return RoundResult{}, fmt.Errorf("server: round %d predates the restored snapshot (history starts at %d)",
+			t, s.baseRound)
+	}
+	return RoundResult{}, fmt.Errorf("server: round %d not published (have %d)", t, s.baseRound+len(s.results))
 }
 
-// Rounds returns the number of published rounds.
+// Rounds returns the index one past the last published round (the open
+// round's index). For a stream that never restored this is the number of
+// published rounds; after RestoreStream it continues from the snapshot's
+// round, although the earlier history itself is not retained.
 func (s *Stream) Rounds() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.results)
+	return s.baseRound + len(s.results)
 }
 
 // Enrolled returns the number of enrolled users.

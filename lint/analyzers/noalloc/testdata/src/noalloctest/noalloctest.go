@@ -31,13 +31,13 @@ func growsOther(dst, other []byte) []byte {
 
 //loloha:noalloc
 func allocates(n int) {
-	_ = make([]int, n)   // want "make allocates"
-	_ = map[int]int{}    // want "map literal allocates"
-	_ = []int{1, 2}      // want "slice literal allocates"
-	_ = &buf{}           // want "address of composite literal allocates"
-	f := func() {}       // want "function literal allocates a closure"
-	f()                  // want "dynamic call through a function value"
-	go helper()          // want "go statement allocates a goroutine"
+	_ = make([]int, n) // want "make allocates"
+	_ = map[int]int{}  // want "map literal allocates"
+	_ = []int{1, 2}    // want "slice literal allocates"
+	_ = &buf{}         // want "address of composite literal allocates"
+	f := func() {}     // want "function literal allocates a closure"
+	f()                // want "dynamic call through a function value"
+	go helper()        // want "go statement allocates a goroutine"
 }
 
 //loloha:noalloc

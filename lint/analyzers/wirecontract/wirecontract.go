@@ -20,6 +20,11 @@
 //     implement ColumnarTallier (the decode-free batch fast path) and
 //     carry its assertion; a row-only tallier is flagged unless marked
 //     //loloha:boxed <why>.
+//   - The concrete aggregator returned by a fast-path (TallyProtocol)
+//     family's NewAggregator must implement SnapshotTallier (the
+//     durability contract: snapshot/restore and collector-tree merges
+//     serialize tally state through it) and carry its assertion; an
+//     aggregator without it is flagged unless marked //loloha:boxed <why>.
 //   - RegisterWireDecoder registers a decoder-only (inherently boxed)
 //     family and always requires the //loloha:boxed marker.
 //
@@ -114,6 +119,7 @@ func checkFamily(pass *analysis.Pass, ix *annot.Index, asserts []assertion, repo
 	tallyIface := lookupIface(registry, "TallyProtocol")
 	reporterIface := lookupIface(registry, "AppendReporter")
 	columnarIface := lookupIface(registry, "ColumnarTallier")
+	snapIface := lookupIface(registry, "SnapshotTallier")
 
 	for _, proto := range resolveReturns(pass, build) {
 		key := proto.String()
@@ -152,6 +158,22 @@ func checkFamily(pass *analysis.Pass, ix *annot.Index, asserts []assertion, repo
 						}
 					case !asserted(asserts, columnarIface, tallier):
 						pass.Reportf(call.Pos(), "missing compile-time assertion: var _ ColumnarTallier = %s", zeroValueOf(tallier))
+					}
+				}
+			}
+		}
+		if snapIface != nil && tallyIface != nil && implements(proto, tallyIface) {
+			if agg := resolveMethodReturn(pass, proto, "NewAggregator"); agg != nil {
+				akey := agg.String() + " snapshot"
+				if !reported[akey] {
+					reported[akey] = true
+					switch {
+					case !implements(agg, snapIface):
+						if !ix.At(call, "boxed") {
+							pass.Reportf(call.Pos(), "aggregator %s does not implement SnapshotTallier: this family cannot snapshot/restore or merge across a collector tree; implement ExportTally/ImportTally or mark //loloha:boxed <why>", agg)
+						}
+					case !asserted(asserts, snapIface, agg):
+						pass.Reportf(call.Pos(), "missing compile-time assertion: var _ SnapshotTallier = %s", zeroValueOf(agg))
 					}
 				}
 			}
