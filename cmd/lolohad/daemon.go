@@ -28,7 +28,8 @@ const snapshotFile = "stream.lss1"
 type daemonOptions struct {
 	spec     string
 	mode     string // single | root | leaf
-	parent   string // leaf: parent's raw-frame TCP address
+	parent   string // leaf: parent's TCP address or http(s):// URL
+	leafID   string // leaf: stable identity in the parent's dedup ledger
 	httpAddr string
 	tcpAddr  string
 	shards   int
@@ -36,6 +37,13 @@ type daemonOptions struct {
 	round    time.Duration
 	maxFrame int
 	maxBatch int
+
+	// Root graceful degradation: close the round roundDeadline after its
+	// first envelope once quorum leaves arrived; expectLeaves closes early
+	// when everyone reported and marks slower closes partial.
+	roundDeadline time.Duration
+	quorum        int
+	expectLeaves  int
 
 	snapDir   string
 	snapEvery time.Duration
@@ -57,6 +65,13 @@ func (o *daemonOptions) validate() error {
 	if o.parent != "" && o.mode == "single" {
 		return fmt.Errorf("-parent requires -mode leaf (or root, for an interior node)")
 	}
+	if o.parent != "" && o.leafID == "" {
+		return fmt.Errorf("-parent requires -leaf-id: the parent deduplicates retried rounds " +
+			"per leaf identity, and the identity must survive restarts")
+	}
+	if (o.roundDeadline > 0 || o.quorum > 0 || o.expectLeaves > 0) && o.mode == "leaf" {
+		return fmt.Errorf("-round-deadline/-quorum/-expect-leaves apply to a merge-accepting daemon (-mode root)")
+	}
 	if o.snapEvery > 0 && o.snapDir == "" {
 		return fmt.Errorf("-snapshot-every requires -snapshot-dir")
 	}
@@ -71,7 +86,7 @@ type daemon struct {
 	proto    longitudinal.Protocol
 	stream   *server.Stream
 	srv      *netserver.Server
-	upstream *netserver.MergeClient
+	upstream netserver.MergeSender
 	httpLn   net.Listener
 	tcpLn    net.Listener
 
@@ -117,13 +132,23 @@ func newDaemon(opts daemonOptions, out io.Writer) (*daemon, error) {
 		MaxBatchBytes: opts.maxBatch,
 		RoundEvery:    opts.round,
 		AcceptMerges:  opts.mode == "root",
+		RoundDeadline: opts.roundDeadline,
+		Quorum:        opts.quorum,
+		ExpectLeaves:  opts.expectLeaves,
 	}
 	if opts.parent != "" {
-		if d.upstream, err = netserver.DialMerge(opts.parent, 0); err != nil {
+		if d.upstream, err = netserver.NewMergeSender(opts.parent, 0); err != nil {
 			d.stream.Close()
 			return nil, err
 		}
 		cfg.Upstream = d.upstream
+		cfg.LeafID = opts.leafID
+		if opts.snapDir != "" {
+			// The outbox shares the durability root with the state image:
+			// a leaf with -snapshot-dir survives a crash between round
+			// close and the parent's ack too.
+			cfg.OutboxDir = filepath.Join(opts.snapDir, "outbox")
+		}
 	}
 	if d.srv, err = netserver.New(cfg); err != nil {
 		d.close()
@@ -224,6 +249,12 @@ func (d *daemon) run() error {
 func (d *daemon) shutdown() error {
 	if err := d.srv.Drain(d.opts.drain); err != nil {
 		fmt.Fprintf(d.out, "lolohad: drain: %v\n", err)
+	}
+	if err := d.srv.FlushOutbox(d.opts.drain); err != nil {
+		// Not fatal: with an outbox directory the unshipped envelopes are
+		// spooled and the next start replays them; without one they are
+		// lost with the process, which the message makes explicit.
+		fmt.Fprintf(d.out, "lolohad: outbox flush: %v\n", err)
 	}
 	if d.opts.snapDir == "" {
 		return nil

@@ -22,9 +22,14 @@
 // refusing an image written under a different protocol spec.
 //
 // Collector tree: -mode root accepts merge traffic (TCP merge frames and
-// POST /v1/merge); -mode leaf -parent host:port ships every closed
-// round's tallies upstream, making the root's rounds bit-identical to a
-// single daemon that saw all reports.
+// POST /v1/merge); -mode leaf -parent host:port -leaf-id name ships every
+// closed round's tallies upstream as a merge envelope, making the root's
+// rounds bit-identical to a single daemon that saw all reports. Delivery
+// is exactly-once: the root deduplicates per (-leaf-id, sequence) in a
+// durable ledger, and a leaf with -snapshot-dir spools unshipped
+// envelopes to disk and replays them after a crash. -round-deadline,
+// -quorum and -expect-leaves let a root publish partial rounds instead of
+// stalling on a dead leaf.
 package main
 
 import (
@@ -54,7 +59,8 @@ func run(args []string) error {
 	var o daemonOptions
 	fs.StringVar(&o.spec, "spec", "", "protocol: inline ProtocolSpec JSON (starts with '{') or a path to a spec file (required)")
 	fs.StringVar(&o.mode, "mode", "single", "daemon role: single, root (accepts merge traffic) or leaf (ships closed rounds to -parent)")
-	fs.StringVar(&o.parent, "parent", "", "collector-tree parent's raw-frame TCP address (required with -mode leaf)")
+	fs.StringVar(&o.parent, "parent", "", "collector-tree parent: raw-frame TCP host:port or http(s):// URL (required with -mode leaf)")
+	fs.StringVar(&o.leafID, "leaf-id", "", "this leaf's stable identity in the parent's dedup ledger (required with -parent; must survive restarts)")
 	fs.StringVar(&o.httpAddr, "http", "127.0.0.1:8080", "HTTP listen address (API + dashboard)")
 	fs.StringVar(&o.tcpAddr, "tcp", "", "raw-frame TCP listen address (empty = disabled)")
 	fs.IntVar(&o.shards, "shards", 0, "ingestion shards (0 = the stream's default)")
@@ -62,6 +68,9 @@ func run(args []string) error {
 	fs.IntVar(&o.roundCap, "roundcap", 0, "retained round history and subscriber buffer depth (0 = the stream's default)")
 	fs.IntVar(&o.maxFrame, "maxframe", 0, "max TCP frame body / batch record payload in bytes (0 = 1 MiB)")
 	fs.IntVar(&o.maxBatch, "maxbatch", 0, "max HTTP /v1/reports body in bytes (0 = 8 MiB)")
+	fs.DurationVar(&o.roundDeadline, "round-deadline", 0, "root: close the round this long after its first merge envelope even if leaves are missing (0 = wait forever)")
+	fs.IntVar(&o.quorum, "quorum", 0, "root: minimum distinct leaves before -round-deadline may close the round (0 = 1)")
+	fs.IntVar(&o.expectLeaves, "expect-leaves", 0, "root: the tree's leaf count — close immediately when all arrived, count slower deadline closes as partial")
 	fs.StringVar(&o.snapDir, "snapshot-dir", "", "directory for the durable state image; restored at startup, written on shutdown (empty = no durability)")
 	fs.DurationVar(&o.snapEvery, "snapshot-every", 0, "also snapshot on this period (0 = only at shutdown; requires -snapshot-dir)")
 	fs.DurationVar(&o.drain, "drain", 5*time.Second, "graceful-shutdown budget for in-flight batches before the final snapshot")

@@ -8,6 +8,7 @@ package main
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -302,6 +303,13 @@ func TestOptionsValidate(t *testing.T) {
 		"bad-mode":               func(o *daemonOptions) { o.mode = "follower" },
 		"leaf-without-parent":    func(o *daemonOptions) { o.mode = "leaf" },
 		"parent-in-single-mode":  func(o *daemonOptions) { o.parent = "localhost:9" },
+		"parent-without-leaf-id": func(o *daemonOptions) { o.mode = "leaf"; o.parent = "localhost:9" },
+		"deadline-on-leaf": func(o *daemonOptions) {
+			o.mode = "leaf"
+			o.parent = "localhost:9"
+			o.leafID = "leaf-a"
+			o.roundDeadline = time.Second
+		},
 		"snap-every-without-dir": func(o *daemonOptions) { o.snapDir = ""; o.snapEvery = time.Second },
 	} {
 		t.Run(name, func(t *testing.T) {
@@ -342,6 +350,7 @@ func TestLifecycleCollectorTree(t *testing.T) {
 		opts.snapDir = ""
 		opts.mode = "leaf"
 		opts.parent = root.tcpLn.Addr().String()
+		opts.leafID = fmt.Sprintf("leaf-%d", i)
 		leaves[i], leafDone[i] = startDaemon(t, opts)
 	}
 
@@ -403,6 +412,108 @@ func TestLifecycleCollectorTree(t *testing.T) {
 		stopDaemon(t, leaves[i], leafDone[i])
 	}
 	stopDaemon(t, root, rootDone)
+}
+
+// TestLifecycleLeafOutboxReplay is the kill-mid-ship path through the
+// real daemon wiring: a leaf whose parent dies before the round ships
+// spools the envelope under -snapshot-dir, reports it in /v1/status,
+// survives its own shutdown, and a restarted leaf replays it to the
+// restarted parent — the root ends with every report exactly once.
+func TestLifecycleLeafOutboxReplay(t *testing.T) {
+	const n = 24
+	proto, err := buildProtocol(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := server.NewStream(proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	clients := testClients(t, proto, ref, n)
+
+	rootOpts := testOptions("")
+	rootOpts.snapDir = ""
+	rootOpts.mode = "root"
+	// The leaf's idle merge connection would otherwise hold the root's
+	// drain open until its deadline.
+	rootOpts.drain = 500 * time.Millisecond
+	root1, root1Done := startDaemon(t, rootOpts)
+	rootTCP := root1.tcpLn.Addr().String()
+
+	leafDir := t.TempDir()
+	leafOpts := testOptions(leafDir)
+	leafOpts.mode = "leaf"
+	leafOpts.parent = rootTCP
+	leafOpts.leafID = "leaf-a"
+	leafOpts.drain = 500 * time.Millisecond // don't wait out a dead parent at shutdown
+	leaf1, leaf1Done := startDaemon(t, leafOpts)
+
+	conn := dialDaemon(t, leaf1)
+	enrollTCP(t, conn, clients)
+	payloads := roundPayloads(clients, 0, proto.K())
+	reportTCP(t, conn, payloads, 0, n)
+	ingestRef(t, ref, payloads, 0, n)
+	conn.Close()
+
+	// The parent dies before the round ships; the leaf's round close must
+	// still publish locally, with the envelope spooled for later.
+	stopDaemon(t, root1, root1Done)
+	if _, err := leafHTTPClose(leaf1); err == nil {
+		t.Fatal("leaf round close shipped through a dead parent")
+	}
+	var st struct {
+		Merge struct {
+			Unshipped int `json:"unshipped"`
+			Oldest    int `json:"oldest_unshipped_round"`
+		} `json:"merge"`
+	}
+	if err := getJSON("http://"+leaf1.httpLn.Addr().String()+"/v1/status", &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Merge.Unshipped != 1 || st.Merge.Oldest != 0 {
+		t.Fatalf("leaf status = %+v, want round 0 spooled", st.Merge)
+	}
+	stopDaemon(t, leaf1, leaf1Done)
+
+	// Both sides restart — the root first (same address), then the leaf,
+	// whose boot replay must deliver the spooled round unprompted.
+	rootOpts.tcpAddr = rootTCP
+	root2, root2Done := startDaemon(t, rootOpts)
+	leaf2, leaf2Done := startDaemon(t, leafOpts)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := getJSON("http://"+leaf2.httpLn.Addr().String()+"/v1/status", &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Merge.Unshipped == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted leaf never replayed the spooled envelope: %+v", st.Merge)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	got, want := root2.stream.CloseRound(), ref.CloseRound()
+	if got.Reports != want.Reports || !sameFloats(got.Raw, want.Raw) {
+		t.Fatalf("replayed root round = %d reports, want %d bit-identical to the reference",
+			got.Reports, want.Reports)
+	}
+	stopDaemon(t, leaf2, leaf2Done)
+	stopDaemon(t, root2, root2Done)
+}
+
+// getJSON fetches and decodes url into v.
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
 }
 
 // leafHTTPClose closes a leaf's round over its HTTP API and returns the

@@ -4,11 +4,13 @@
 //
 // Every aggregator in this repository keeps its round state as an integer
 // tally vector, and tally adds commute. That is the whole trick: a leaf
-// closing its round exports the vector (the LSS1 snapshot wire form), a
-// merge frame carries it to the root, and the root adds it in. The tree
-// topology never touches the estimates — the root's round is bit-identical
-// to a single daemon that collected every report itself, which this
-// program checks against a reference stream every round.
+// closing its round exports the vector (the LSS1 snapshot wire form),
+// wraps it in a merge envelope — leaf identity plus a durable sequence
+// number — and ships it to the root, which deduplicates per leaf before
+// adding it in. The tree topology never touches the estimates — the
+// root's round is bit-identical to a single daemon that collected every
+// report itself, which this program checks against a reference stream
+// every round, and the envelope ledger makes that hold under retries too.
 //
 // The same wiring as `lolohad -mode root` + two `lolohad -mode leaf
 // -parent host:port` processes fed by partitioned `lolohasim loadgen`
@@ -102,7 +104,8 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if leaves[i], err = startNode(proto, netserver.Config{Upstream: up}); err != nil {
+		cfg := netserver.Config{Upstream: up, LeafID: fmt.Sprintf("leaf-%d", i)}
+		if leaves[i], err = startNode(proto, cfg); err != nil {
 			up.Close()
 			return err
 		}
@@ -186,18 +189,38 @@ func run() error {
 			round, len(got), got[7])
 	}
 
-	// The root's merge counters account for every shipped tally.
+	// The root's merge counters account for every shipped tally, and every
+	// leaf's outbox is empty: each round's envelope was acked before the
+	// round close returned, so nothing waits on the background shipper.
 	var st struct {
 		Merge struct {
-			Frames  int `json:"frames"`
-			Reports int `json:"reports"`
+			Frames     int `json:"frames"`
+			Reports    int `json:"reports"`
+			Duplicates int `json:"duplicates"`
 		} `json:"merge"`
 	}
 	if err := getJSON(root.http.URL+"/v1/status", &st); err != nil {
 		return err
 	}
-	fmt.Printf("root merged %d frames carrying %d reports (%d leaves x %d rounds, %d users/round)\n",
-		st.Merge.Frames, st.Merge.Reports, len(leaves), rounds, users)
+	fmt.Printf("root merged %d frames carrying %d reports, %d duplicates (%d leaves x %d rounds, %d users/round)\n",
+		st.Merge.Frames, st.Merge.Reports, st.Merge.Duplicates, len(leaves), rounds, users)
+	for i, leaf := range leaves {
+		var ls struct {
+			Merge struct {
+				Shipped   int `json:"shipped"`
+				Unshipped int `json:"unshipped"`
+				Oldest    int `json:"oldest_unshipped_round"`
+			} `json:"merge"`
+		}
+		if err := getJSON(leaf.http.URL+"/v1/status", &ls); err != nil {
+			return err
+		}
+		if ls.Merge.Unshipped != 0 || ls.Merge.Oldest != -1 {
+			return fmt.Errorf("leaf %d: %d envelopes unshipped (oldest round %d), want an empty outbox",
+				i, ls.Merge.Unshipped, ls.Merge.Oldest)
+		}
+		fmt.Printf("leaf %d shipped %d envelopes, outbox empty\n", i, ls.Merge.Shipped)
+	}
 	return nil
 }
 

@@ -1,0 +1,243 @@
+// Package faultnet is a fault-injecting TCP proxy for exercising the
+// collector tree's exactly-once delivery under the failures that real
+// networks produce: dropped connections, delays, mid-frame truncation,
+// acknowledgements that vanish after the payload was applied, and
+// connections reset between apply and ack.
+//
+// A Proxy sits between a merge client and its parent (any TCP protocol —
+// the raw merge frames and HTTP both ride it) and applies a scripted
+// Rule to each accepted connection, in accept order. Scripts make chaos
+// deterministic: a test states "the first two connections lose their
+// acks, the third is clean" and asserts the exact retry/dedup counters
+// that schedule must produce, instead of sampling randomness and hoping.
+//
+// The two ack-side faults are the interesting ones for exactly-once
+// semantics: BlackholeDown and ResetAfterReply both let the upstream
+// APPLY the envelope while the shipper sees a failure, so a correct leaf
+// must retry and a correct root must deduplicate. DropConn, Delay and
+// TruncateUpstream fail before anything is applied, exercising the
+// plain retry path.
+package faultnet
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault selects what a connection's Rule does to the traffic.
+type Fault int
+
+const (
+	// None forwards both directions untouched.
+	None Fault = iota
+	// DropConn closes the client connection immediately on accept,
+	// before any byte flows — a refused/reset parent.
+	DropConn
+	// Delay forwards untouched after an initial pause — a congested or
+	// slow-to-accept parent. The pause must stay under the client's
+	// timeout for the connection to survive.
+	Delay
+	// TruncateUpstream forwards exactly TruncateAfter client→server
+	// bytes, then severs both sides — a connection dying mid-frame. The
+	// upstream sees a torn frame and must not apply it.
+	TruncateUpstream
+	// BlackholeDown forwards client→server untouched and discards every
+	// server→client byte — the upstream applies and acknowledges, but
+	// the acknowledgement never arrives; the client can only time out.
+	BlackholeDown
+	// ResetAfterReply forwards client→server untouched, waits for the
+	// first server→client byte (proof the upstream processed the
+	// request), then severs both sides without delivering it — the
+	// tightest window: applied, acked, reset.
+	ResetAfterReply
+)
+
+// String names the fault for test output.
+func (f Fault) String() string {
+	switch f {
+	case None:
+		return "none"
+	case DropConn:
+		return "drop-conn"
+	case Delay:
+		return "delay"
+	case TruncateUpstream:
+		return "truncate"
+	case BlackholeDown:
+		return "blackhole-ack"
+	case ResetAfterReply:
+		return "reset-after-apply"
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// Rule is one connection's scripted fault.
+type Rule struct {
+	Fault Fault
+	// Delay is the initial pause for the Delay fault.
+	Delay time.Duration
+	// TruncateAfter is how many client→server bytes TruncateUpstream
+	// forwards before severing. Pick a value inside the frame under test
+	// to guarantee the tear lands mid-frame.
+	TruncateAfter int
+}
+
+// Script assigns Rules to connections: connection i (0-based, accept
+// order) gets Plan[i]; connections past the plan get Default. The zero
+// Script forwards everything untouched.
+type Script struct {
+	Plan    []Rule
+	Default Rule
+}
+
+func (s *Script) rule(i int) Rule {
+	if i < len(s.Plan) {
+		return s.Plan[i]
+	}
+	return s.Default
+}
+
+// Proxy is a running fault-injecting proxy. Create with New, point the
+// client at Addr, stop with Close.
+type Proxy struct {
+	target string
+	script Script
+	ln     net.Listener
+
+	accepted atomic.Int64 // connections accepted (rule index source)
+	faulted  atomic.Int64 // connections that got a non-None rule
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// New starts a proxy on a loopback port forwarding to target.
+func New(target string, script Script) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: listen: %w", err)
+	}
+	p := &Proxy{target: target, script: script, ln: ln, conns: map[net.Conn]struct{}{}}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address clients dial instead of the real target.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Accepted returns how many connections the proxy has accepted — the
+// index the next connection's rule will be chosen by.
+func (p *Proxy) Accepted() int { return int(p.accepted.Load()) }
+
+// Faulted returns how many connections received a non-None rule.
+func (p *Proxy) Faulted() int { return int(p.faulted.Load()) }
+
+// Close stops accepting and severs every live connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	err := p.ln.Close()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		cli, err := p.ln.Accept()
+		if err != nil {
+			return // Close, or a fatal listener error; either way, done
+		}
+		i := int(p.accepted.Add(1)) - 1
+		rule := p.script.rule(i)
+		if rule.Fault != None {
+			p.faulted.Add(1)
+		}
+		if rule.Fault == DropConn {
+			cli.Close()
+			continue
+		}
+		if !p.track(cli) {
+			cli.Close()
+			return
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer p.untrack(cli)
+			p.handle(cli, rule)
+		}()
+	}
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	c.Close()
+}
+
+// handle runs one connection's rule to completion. Closing either leg
+// unblocks the opposite copy, so a severed direction tears the whole
+// connection down — exactly what a real mid-stream failure does.
+func (p *Proxy) handle(cli net.Conn, rule Rule) {
+	if rule.Fault == Delay {
+		time.Sleep(rule.Delay)
+	}
+	srv, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return // target down: the client sees the connection close
+	}
+	defer srv.Close()
+	if !p.track(srv) {
+		return
+	}
+	defer p.untrack(srv)
+
+	switch rule.Fault {
+	case None, Delay:
+		done := make(chan struct{}, 2)
+		go func() { io.Copy(srv, cli); srv.Close(); done <- struct{}{} }()
+		go func() { io.Copy(cli, srv); cli.Close(); done <- struct{}{} }()
+		<-done
+		<-done
+	case TruncateUpstream:
+		// Forward only the allowance; the deferred closes deliver the
+		// tear to both sides. Nothing flows downstream: the request
+		// never completed, so any reply would be an artifact.
+		io.CopyN(srv, cli, int64(rule.TruncateAfter))
+	case BlackholeDown:
+		go func() { io.Copy(io.Discard, srv) }() // apply, then eat the ack
+		io.Copy(srv, cli)                        // until the client gives up
+	case ResetAfterReply:
+		go func() { io.Copy(srv, cli) }()
+		var b [1]byte
+		srv.Read(b[:]) // the upstream replied: it has processed the request
+		// Fall through to the deferred closes without delivering it.
+	}
+}

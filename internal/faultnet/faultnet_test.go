@@ -1,0 +1,211 @@
+package faultnet
+
+// Unit tests drive each fault against a tiny request/reply server and
+// assert the exact failure the client and server each observe — the
+// contracts the chaos suite in internal/netserver builds on.
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and answers every 4-byte request with
+// "ack:" + request. It records each fully-read request.
+type echoServer struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	requests [][]byte
+	partial  [][]byte // reads that ended before a full request
+}
+
+func newEchoServer(t *testing.T) *echoServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &echoServer{ln: ln}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go s.serve(c)
+		}
+	}()
+	return s
+}
+
+func (s *echoServer) serve(c net.Conn) {
+	defer c.Close()
+	for {
+		req := make([]byte, 4)
+		n, err := io.ReadFull(c, req)
+		if err != nil {
+			if n > 0 {
+				s.mu.Lock()
+				s.partial = append(s.partial, req[:n])
+				s.mu.Unlock()
+			}
+			return
+		}
+		s.mu.Lock()
+		s.requests = append(s.requests, req)
+		s.mu.Unlock()
+		if _, err := c.Write(append([]byte("ack:"), req...)); err != nil {
+			return
+		}
+	}
+}
+
+func (s *echoServer) counts() (full, partial int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.requests), len(s.partial)
+}
+
+func newProxy(t *testing.T, target string, script Script) *Proxy {
+	t.Helper()
+	p, err := New(target, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func dial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// roundTrip writes one request and reads the 8-byte reply.
+func roundTrip(c net.Conn, req string) (string, error) {
+	if _, err := c.Write([]byte(req)); err != nil {
+		return "", err
+	}
+	c.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+	reply := make([]byte, 8)
+	if _, err := io.ReadFull(c, reply); err != nil {
+		return "", err
+	}
+	return string(reply), nil
+}
+
+func TestProxyForwardsUntouched(t *testing.T) {
+	srv := newEchoServer(t)
+	p := newProxy(t, srv.ln.Addr().String(), Script{})
+	c := dial(t, p.Addr())
+	for _, req := range []string{"aaaa", "bbbb"} {
+		got, err := roundTrip(c, req)
+		if err != nil || got != "ack:"+req {
+			t.Fatalf("roundTrip(%q) = %q, %v", req, got, err)
+		}
+	}
+	if p.Accepted() != 1 || p.Faulted() != 0 {
+		t.Fatalf("accepted=%d faulted=%d, want 1/0", p.Accepted(), p.Faulted())
+	}
+}
+
+func TestDropConnThenRecover(t *testing.T) {
+	srv := newEchoServer(t)
+	p := newProxy(t, srv.ln.Addr().String(), Script{Plan: []Rule{{Fault: DropConn}}})
+	c := dial(t, p.Addr())
+	if _, err := roundTrip(c, "aaaa"); err == nil {
+		t.Fatal("round trip through a dropped connection succeeded")
+	}
+	if full, _ := srv.counts(); full != 0 {
+		t.Fatalf("server saw %d requests through a dropped connection", full)
+	}
+	// The next connection runs the Default rule: clean.
+	c2 := dial(t, p.Addr())
+	if got, err := roundTrip(c2, "bbbb"); err != nil || got != "ack:bbbb" {
+		t.Fatalf("retry connection = %q, %v", got, err)
+	}
+	if p.Faulted() != 1 {
+		t.Fatalf("faulted = %d, want 1", p.Faulted())
+	}
+}
+
+func TestDelayForwardsLate(t *testing.T) {
+	srv := newEchoServer(t)
+	const pause = 60 * time.Millisecond
+	p := newProxy(t, srv.ln.Addr().String(), Script{Default: Rule{Fault: Delay, Delay: pause}})
+	start := time.Now()
+	c := dial(t, p.Addr())
+	got, err := roundTrip(c, "aaaa")
+	if err != nil || got != "ack:aaaa" {
+		t.Fatalf("delayed round trip = %q, %v", got, err)
+	}
+	if elapsed := time.Since(start); elapsed < pause {
+		t.Fatalf("round trip finished in %v, want at least the %v pause", elapsed, pause)
+	}
+}
+
+func TestTruncateTearsMidRequest(t *testing.T) {
+	srv := newEchoServer(t)
+	p := newProxy(t, srv.ln.Addr().String(),
+		Script{Plan: []Rule{{Fault: TruncateUpstream, TruncateAfter: 2}}})
+	c := dial(t, p.Addr())
+	if _, err := roundTrip(c, "aaaa"); err == nil {
+		t.Fatal("round trip through a truncated connection succeeded")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		full, partial := srv.counts()
+		if full == 0 && partial == 1 {
+			break // the server saw a torn request and nothing applied
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server saw %d full, %d partial requests; want 0 full, 1 partial", full, partial)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s := srv
+	s.mu.Lock()
+	tear := append([]byte(nil), s.partial[0]...)
+	s.mu.Unlock()
+	if !bytes.Equal(tear, []byte("aa")) {
+		t.Fatalf("server received %q before the tear, want the 2-byte allowance", tear)
+	}
+}
+
+// TestBlackholeAppliesWithoutAck is the exactly-once crux: the server
+// fully processes the request, but the client never learns it.
+func TestBlackholeAppliesWithoutAck(t *testing.T) {
+	srv := newEchoServer(t)
+	p := newProxy(t, srv.ln.Addr().String(), Script{Plan: []Rule{{Fault: BlackholeDown}}})
+	c := dial(t, p.Addr())
+	if _, err := roundTrip(c, "aaaa"); err == nil {
+		t.Fatal("round trip through an ack black-hole succeeded")
+	}
+	if full, _ := srv.counts(); full != 1 {
+		t.Fatalf("server applied %d requests, want exactly 1 (applied, unconfirmed)", full)
+	}
+}
+
+// TestResetAfterReply severs the connection only once the server has
+// replied — applied and acknowledged, but the ack dies on the wire.
+func TestResetAfterReply(t *testing.T) {
+	srv := newEchoServer(t)
+	p := newProxy(t, srv.ln.Addr().String(), Script{Plan: []Rule{{Fault: ResetAfterReply}}})
+	c := dial(t, p.Addr())
+	if _, err := roundTrip(c, "aaaa"); err == nil {
+		t.Fatal("round trip through a reset-after-reply connection succeeded")
+	}
+	if full, _ := srv.counts(); full != 1 {
+		t.Fatalf("server applied %d requests, want exactly 1", full)
+	}
+}

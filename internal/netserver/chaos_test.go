@@ -1,0 +1,201 @@
+package netserver
+
+// The chaos parity gate: a collector tree whose every merge link runs
+// through a fault-injecting proxy must still produce rounds bit-identical
+// to a single fault-free stream — no report lost, none double-counted —
+// for every fault mode, over both merge transports. The ack-side faults
+// (black-hole, reset-after-apply) force the root to prove its dedup: the
+// envelope WAS applied, the leaf retries anyway, and the only acceptable
+// outcome is a duplicate ack observable in the root's counters.
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/loloha-ldp/loloha/internal/faultnet"
+	"github.com/loloha-ldp/loloha/internal/server"
+)
+
+// chaosFault describes one fault mode's script and what it must provoke.
+type chaosFault struct {
+	name   string
+	script faultnet.Script
+	// applied reports whether the fault lets the root apply the envelope
+	// while the shipper sees a failure — the modes that MUST surface
+	// duplicates at the root.
+	applied bool
+	// retries reports whether the schedule forces at least one failed
+	// ship attempt.
+	retries bool
+	// timeout is the merge client's per-ship budget. Generous by default
+	// so a loaded CI machine cannot turn a survivable fault into an
+	// unscripted timeout-after-apply (a duplicate the schedule did not
+	// call for); BlackholeDown overrides it downward because waiting out
+	// this timeout IS that fault's failure mode.
+	timeout time.Duration
+}
+
+func chaosFaults() []chaosFault {
+	return []chaosFault{
+		{
+			name:    "drop-conn",
+			script:  faultnet.Script{Plan: []faultnet.Rule{{Fault: faultnet.DropConn}, {Fault: faultnet.DropConn}}},
+			retries: true,
+		},
+		{
+			name:   "delay",
+			script: faultnet.Script{Default: faultnet.Rule{Fault: faultnet.Delay, Delay: 30 * time.Millisecond}},
+		},
+		{
+			name: "truncate-mid-frame",
+			script: faultnet.Script{Plan: []faultnet.Rule{
+				{Fault: faultnet.TruncateUpstream, TruncateAfter: 10},
+				{Fault: faultnet.TruncateUpstream, TruncateAfter: 23},
+			}},
+			retries: true,
+		},
+		{
+			name:    "blackhole-ack",
+			script:  faultnet.Script{Plan: []faultnet.Rule{{Fault: faultnet.BlackholeDown}}},
+			applied: true,
+			retries: true,
+			timeout: 500 * time.Millisecond,
+		},
+		{
+			name: "reset-after-apply",
+			script: faultnet.Script{Plan: []faultnet.Rule{
+				{Fault: faultnet.ResetAfterReply},
+				{Fault: faultnet.ResetAfterReply},
+			}},
+			applied: true,
+			retries: true,
+		},
+	}
+}
+
+func TestChaosParity(t *testing.T) {
+	const (
+		nleaves = 3
+		users   = 48
+		rounds  = 2
+	)
+	for _, transport := range []string{"tcp", "http"} {
+		for _, fault := range chaosFaults() {
+			t.Run(transport+"/"+fault.name, func(t *testing.T) {
+				t.Parallel()
+				proto, err := parityFamilies[0].build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref := newTestStream(t, proto)
+				rootStream := newTestStream(t, proto)
+				rootSrv := newTestServer(t, rootStream, Config{AcceptMerges: true})
+
+				// The merge target the proxies forward to: the raw-frame
+				// listener or the HTTP API, same engine either way.
+				var target string
+				if transport == "tcp" {
+					target = serveTCPAddr(t, rootSrv)
+				} else {
+					ts := httptest.NewServer(rootSrv.Handler())
+					t.Cleanup(ts.Close)
+					target = ts.Listener.Addr().String()
+				}
+
+				// Every leaf's merge link runs through its own faulty proxy
+				// with the same script: K simultaneously-faulty leaves.
+				leafStreams := make([]*server.Stream, nleaves)
+				leafSrvs := make([]*Server, nleaves)
+				for i := range leafStreams {
+					leafStreams[i] = newTestStream(t, proto)
+					proxy, err := faultnet.New(target, fault.script)
+					if err != nil {
+						t.Fatal(err)
+					}
+					t.Cleanup(func() { proxy.Close() })
+					timeout := fault.timeout
+					if timeout == 0 {
+						timeout = 10 * time.Second
+					}
+					var up MergeSender
+					if transport == "tcp" {
+						if up, err = DialMerge(proxy.Addr(), timeout); err != nil {
+							t.Fatal(err)
+						}
+					} else {
+						up = NewHTTPMergeClient("http://"+proxy.Addr(), timeout)
+					}
+					t.Cleanup(func() { up.Close() })
+					leafSrvs[i] = newTestServer(t, leafStreams[i], Config{
+						Upstream:     up,
+						LeafID:       fmt.Sprintf("leaf-%d", i),
+						OutboxDir:    t.TempDir(),
+						ShipRetryMin: 2 * time.Millisecond,
+						ShipRetryMax: 20 * time.Millisecond,
+					})
+				}
+				clients := treeClients(t, proto, ref, leafStreams, users)
+
+				for round := 0; round < rounds; round++ {
+					for u, cl := range clients {
+						payload := cl.AppendReport(nil, (u*5+round)%proto.K())
+						if err := ref.Ingest(u, payload); err != nil {
+							t.Fatal(err)
+						}
+						if err := leafStreams[u%nleaves].Ingest(u, payload); err != nil {
+							t.Fatal(err)
+						}
+					}
+					refRes := ref.CloseRound()
+					for i, srv := range leafSrvs {
+						// The inline ship may fail under the fault; the round
+						// must close locally regardless, with the envelope
+						// spooled for the background shipper.
+						if res, err := srv.closeRound(); res.Reports != users/nleaves {
+							t.Fatalf("leaf %d round %d closed with %d reports (err %v), want %d",
+								i, round, res.Reports, err, users/nleaves)
+						}
+					}
+					for i, srv := range leafSrvs {
+						if err := srv.FlushOutbox(30 * time.Second); err != nil {
+							t.Fatalf("leaf %d round %d: %v", i, round, err)
+						}
+					}
+					rootRes := rootStream.CloseRound()
+					if rootRes.Reports != refRes.Reports {
+						t.Fatalf("round %d: root holds %d reports, reference %d — lost or double-counted under %s",
+							round, rootRes.Reports, refRes.Reports, fault.name)
+					}
+					if !sameFloats(rootRes.Raw, refRes.Raw) || !sameFloats(rootRes.Estimates, refRes.Estimates) {
+						t.Fatalf("round %d: root estimates diverge from the fault-free single stream under %s",
+							round, fault.name)
+					}
+				}
+
+				if got := rootSrv.mergeReports.Load(); got != uint64(users*rounds) {
+					t.Fatalf("root merged %d reports total, want exactly %d", got, users*rounds)
+				}
+				if fault.applied && rootSrv.mergeDup.Load() == 0 {
+					t.Fatalf("%s applied envelopes behind lost acks but the root recorded no duplicates", fault.name)
+				}
+				if !fault.applied && rootSrv.mergeDup.Load() != 0 {
+					t.Fatalf("%s never applied behind the leaf's back, yet the root recorded %d duplicates",
+						fault.name, rootSrv.mergeDup.Load())
+				}
+				for i, srv := range leafSrvs {
+					if fault.retries && srv.shipFailed.Load() == 0 {
+						t.Fatalf("leaf %d never saw a failed ship under %s", i, fault.name)
+					}
+					if got := srv.shipped.Load(); got != rounds {
+						t.Fatalf("leaf %d confirmed %d envelopes, want %d", i, got, rounds)
+					}
+					if n, _ := srv.outbox.stats(); n != 0 {
+						t.Fatalf("leaf %d finished with %d unshipped envelopes", i, n)
+					}
+				}
+			})
+		}
+	}
+}

@@ -64,13 +64,40 @@ const (
 	FrameMerge = 0x05
 	// FrameAck is the server's reply to FrameFlush.
 	FrameAck = 0x80
+	// FrameMergeAck is the server's immediate reply to a merge frame whose
+	// body is an LME1 envelope: a per-envelope acknowledgement carrying
+	// the envelope's sequence number, the reports merged, and whether the
+	// envelope was deduplicated. Unlike the cumulative flush ack, it names
+	// the exact envelope it confirms, so a leaf that redials (resetting
+	// every connection-lifetime counter) still learns precisely what the
+	// root applied.
+	FrameMergeAck = 0x81
 
-	frameHeaderBytes = 5
-	ackBodyBytes     = 32
+	frameHeaderBytes  = 5
+	ackBodyBytes      = 32
+	mergeAckBodyBytes = 17
 	// frameMinBody is the smallest body a well-formed enroll/report frame
 	// carries (the user ID); MaxFrameBytes may not be configured below it.
 	frameMinBody = 8
 )
+
+// Merge envelope ack statuses.
+const (
+	// MergeApplied: the envelope's tallies were added to the open round.
+	MergeApplied = 1
+	// MergeDuplicate: the envelope's seq was at or below the root's
+	// per-leaf watermark — its tallies are already in the counts, nothing
+	// was reapplied, and the leaf must treat the envelope as delivered.
+	MergeDuplicate = 2
+)
+
+// MergeAck is the per-envelope merge acknowledgement (FrameMergeAck body):
+// u64 seq, u64 merged reports, u8 status.
+type MergeAck struct {
+	Seq    uint64
+	Merged uint64
+	Status byte
+}
 
 // Ack is the server's flush reply: connection-lifetime counters. After an
 // Ack, every frame written before the flush has been applied to the
@@ -135,6 +162,41 @@ func AppendMergeFrame(dst []byte, snap []byte) []byte {
 func AppendFlushFrame(dst []byte) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, 0)
 	return append(dst, FrameFlush)
+}
+
+// AppendMergeAckFrame appends a per-envelope merge ack frame to dst.
+//
+//loloha:noalloc
+func AppendMergeAckFrame(dst []byte, ack MergeAck) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, mergeAckBodyBytes)
+	dst = append(dst, FrameMergeAck)
+	dst = binary.LittleEndian.AppendUint64(dst, ack.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, ack.Merged)
+	return append(dst, ack.Status)
+}
+
+// ReadMergeAck reads one per-envelope merge ack frame from r (as written
+// by a root in reply to an envelope merge frame).
+func ReadMergeAck(r io.Reader) (MergeAck, error) {
+	var b [frameHeaderBytes + mergeAckBodyBytes]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return MergeAck{}, err
+	}
+	if n := binary.LittleEndian.Uint32(b[:4]); n != mergeAckBodyBytes {
+		return MergeAck{}, fmt.Errorf("netserver: merge ack body %d bytes, want %d", n, mergeAckBodyBytes)
+	}
+	if b[4] != FrameMergeAck {
+		return MergeAck{}, fmt.Errorf("netserver: frame type 0x%02x, want merge ack", b[4])
+	}
+	ack := MergeAck{
+		Seq:    binary.LittleEndian.Uint64(b[5:]),
+		Merged: binary.LittleEndian.Uint64(b[13:]),
+		Status: b[21],
+	}
+	if ack.Status != MergeApplied && ack.Status != MergeDuplicate {
+		return MergeAck{}, fmt.Errorf("netserver: merge ack status 0x%02x unknown", ack.Status)
+	}
+	return ack, nil
 }
 
 // ReadAck reads one ack frame from r (as written by the server in reply
@@ -311,6 +373,9 @@ func (c *tcpConn) handleMerge(body []byte) bool {
 	if !c.srv.acceptMerges {
 		return false
 	}
+	if persist.IsEnvelope(body) {
+		return c.handleMergeEnvelope(body)
+	}
 	snap, err := persist.Decode(body)
 	if err != nil {
 		c.srv.mergeBad.Add(1)
@@ -325,6 +390,57 @@ func (c *tcpConn) handleMerge(body []byte) bool {
 	c.srv.mergeFrames.Add(1)
 	c.srv.mergeReports.Add(uint64(n))
 	return true
+}
+
+// handleMergeEnvelope applies one LME1 merge envelope and replies with a
+// per-envelope ack — the exactly-once half of the merge path. A duplicate
+// (seq at or below the leaf's applied watermark) is acknowledged without
+// decoding its payload, let alone reapplying it, so a retry storm costs
+// the root one header parse per envelope. Malformed envelopes and spec
+// mismatches drop the connection like any other protocol error.
+func (c *tcpConn) handleMergeEnvelope(body []byte) bool {
+	h, err := persist.ParseEnvelopeHeader(body)
+	if err != nil {
+		c.srv.mergeBad.Add(1)
+		return false
+	}
+	if !c.srv.stream.ShouldApply(h.Leaf, h.Seq) {
+		c.srv.stream.RecordDuplicate(h.Leaf)
+		c.srv.mergeDup.Add(1)
+		return c.writeMergeAck(MergeAck{Seq: h.Seq, Status: MergeDuplicate})
+	}
+	env, err := persist.DecodeEnvelope(body)
+	if err != nil {
+		c.srv.mergeBad.Add(1)
+		return false
+	}
+	n, dup, err := c.srv.stream.MergeEnvelope(env)
+	if err != nil {
+		c.srv.mergeBad.Add(1)
+		return false
+	}
+	if dup {
+		// ShouldApply raced another connection shipping the same envelope;
+		// MergeEnvelope's ledger check is the authoritative one.
+		c.srv.mergeDup.Add(1)
+		return c.writeMergeAck(MergeAck{Seq: h.Seq, Status: MergeDuplicate})
+	}
+	c.reports += uint64(n)
+	c.srv.mergeFrames.Add(1)
+	c.srv.mergeReports.Add(uint64(n))
+	c.srv.noteLeafArrival(env.Leaf, n)
+	return c.writeMergeAck(MergeAck{Seq: h.Seq, Merged: uint64(n), Status: MergeApplied})
+}
+
+// writeMergeAck replies to one envelope immediately (no flush needed):
+// the ack is the leaf's delivery receipt, so it must not wait on anything
+// else the connection may carry.
+func (c *tcpConn) writeMergeAck(ack MergeAck) bool {
+	var b [frameHeaderBytes + mergeAckBodyBytes]byte
+	if _, err := c.bw.Write(AppendMergeAckFrame(b[:0], ack)); err != nil {
+		return false
+	}
+	return c.bw.Flush() == nil
 }
 
 // handleEnroll applies one enroll frame. Enrollment is one-time per user

@@ -89,14 +89,42 @@ type sseStatsJSON struct {
 }
 
 // mergeStatsJSON reports collector-tree traffic. Present only when the
-// daemon participates in a tree: Frames/Reports/Rejected count inbound
-// merges (roots), Shipped/ShipFailed count outbound rounds (leaves).
+// daemon participates in a tree: Frames/Reports/Rejected/Duplicates
+// count inbound merges (roots), Shipped/ShipFailed/Retries/Unshipped
+// count outbound envelopes (leaves). Leaves is the root's per-leaf
+// applied-envelope ledger plus current-round arrival attribution —
+// during a partial round it names exactly which leaves the published
+// estimates cover.
 type mergeStatsJSON struct {
 	Frames     uint64 `json:"frames"`
 	Reports    uint64 `json:"reports"`
 	Rejected   uint64 `json:"rejected"`
+	Duplicates uint64 `json:"duplicates"`
 	Shipped    uint64 `json:"shipped,omitempty"`
 	ShipFailed uint64 `json:"ship_failed,omitempty"`
+	Retries    uint64 `json:"retries,omitempty"`
+	// Unshipped/OldestUnshippedRound expose the leaf outbox: rounds
+	// closed but not yet confirmed by the parent. -1 when empty.
+	Unshipped            int `json:"unshipped"`
+	OldestUnshippedRound int `json:"oldest_unshipped_round"`
+	// Root graceful degradation: distinct leaves merged into the open
+	// round, the configured expectation/quorum, and how many rounds the
+	// deadline closed below expectation.
+	Arrived       int                      `json:"arrived,omitempty"`
+	ExpectLeaves  int                      `json:"expect_leaves,omitempty"`
+	Quorum        int                      `json:"quorum,omitempty"`
+	PartialRounds uint64                   `json:"partial_rounds,omitempty"`
+	Leaves        map[string]leafStatsJSON `json:"leaves,omitempty"`
+}
+
+// leafStatsJSON is one leaf's row in the root's ledger attribution.
+type leafStatsJSON struct {
+	Seq     uint64 `json:"seq"`
+	Round   int    `json:"round"`
+	Reports uint64 `json:"reports"`
+	Dups    uint64 `json:"dups"`
+	// InRound reports whether the leaf has merged into the open round.
+	InRound bool `json:"in_round"`
 }
 
 func (s *Server) newMux() *http.ServeMux {
@@ -254,13 +282,18 @@ func countJoined(err error) int {
 }
 
 // handleMergeHTTP is the HTTP transport for collector-tree merges: the
-// body is one LSS1 snapshot image, the response reports how many tallied
-// reports it carried. Registered only when AcceptMerges is set.
+// body is one LME1 merge envelope (exactly-once, per-envelope ack with
+// dedup) or, legacy, one raw LSS1 snapshot image (cumulative, no dedup).
+// Registered only when AcceptMerges is set.
 func (s *Server) handleMergeHTTP(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, int64(s.maxBatch)))
 	if err != nil {
 		s.mergeBad.Add(1)
 		writeError(w, http.StatusBadRequest, fmt.Errorf("netserver: reading merge body: %w", err))
+		return
+	}
+	if persist.IsEnvelope(body) {
+		s.handleMergeEnvelopeHTTP(w, body)
 		return
 	}
 	snap, err := persist.Decode(body)
@@ -283,11 +316,55 @@ func (s *Server) handleMergeHTTP(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]int{"merged": n})
 }
 
+// handleMergeEnvelopeHTTP applies one LME1 envelope with the same
+// exactly-once semantics as the TCP path and answers the per-envelope
+// ack as JSON: {"seq":..,"merged":..,"duplicate":..}.
+func (s *Server) handleMergeEnvelopeHTTP(w http.ResponseWriter, body []byte) {
+	h, err := persist.ParseEnvelopeHeader(body)
+	if err != nil {
+		s.mergeBad.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ackJSON := func(merged int, duplicate bool) {
+		writeJSON(w, http.StatusOK, map[string]any{"seq": h.Seq, "merged": merged, "duplicate": duplicate})
+	}
+	if !s.stream.ShouldApply(h.Leaf, h.Seq) {
+		s.stream.RecordDuplicate(h.Leaf)
+		s.mergeDup.Add(1)
+		ackJSON(0, true)
+		return
+	}
+	env, err := persist.DecodeEnvelope(body)
+	if err != nil {
+		s.mergeBad.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	n, dup, err := s.stream.MergeEnvelope(env)
+	if err != nil {
+		s.mergeBad.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if dup {
+		s.mergeDup.Add(1)
+		ackJSON(0, true)
+		return
+	}
+	s.mergeFrames.Add(1)
+	s.mergeReports.Add(uint64(n))
+	s.noteLeafArrival(env.Leaf, n)
+	ackJSON(n, false)
+}
+
 func (s *Server) handleRoundClose(w http.ResponseWriter, r *http.Request) {
 	res, err := s.closeRound()
 	if err != nil {
-		// The round DID close locally; shipping to the parent failed and the
-		// tallies were folded back into the next round. Report both.
+		// The round DID close locally; shipping to the parent failed and
+		// the envelope stays spooled in the outbox for the background
+		// shipper. Report both — the operator sees the round AND the
+		// degradation, and /v1/status tracks the unshipped backlog.
 		writeJSON(w, http.StatusOK, map[string]any{
 			"round": toRoundJSON(res), "ship_error": err.Error(),
 		})
@@ -335,13 +412,44 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		st.Spec = &spec
 	}
 	if s.acceptMerges || s.upstream != nil {
-		st.Merge = &mergeStatsJSON{
-			Frames:     s.mergeFrames.Load(),
-			Reports:    s.mergeReports.Load(),
-			Rejected:   s.mergeBad.Load(),
-			Shipped:    s.shipped.Load(),
-			ShipFailed: s.shipFailed.Load(),
+		m := &mergeStatsJSON{
+			Frames:               s.mergeFrames.Load(),
+			Reports:              s.mergeReports.Load(),
+			Rejected:             s.mergeBad.Load(),
+			Duplicates:           s.mergeDup.Load(),
+			Shipped:              s.shipped.Load(),
+			ShipFailed:           s.shipFailed.Load(),
+			Retries:              s.shipRetries.Load(),
+			OldestUnshippedRound: -1,
 		}
+		if s.outbox != nil {
+			m.Unshipped, m.OldestUnshippedRound = s.outbox.stats()
+		}
+		if s.acceptMerges {
+			m.ExpectLeaves = s.expectLeaves
+			m.Quorum = s.quorum
+			m.PartialRounds = s.partialRound.Load()
+			s.arrivalMu.Lock()
+			m.Arrived = len(s.arrivals)
+			inRound := make(map[string]bool, len(s.arrivals))
+			for leaf := range s.arrivals {
+				inRound[leaf] = true
+			}
+			s.arrivalMu.Unlock()
+			if ledger := s.stream.Ledger(); len(ledger) > 0 {
+				m.Leaves = make(map[string]leafStatsJSON, len(ledger))
+				for _, e := range ledger {
+					m.Leaves[e.Leaf] = leafStatsJSON{
+						Seq:     e.Seq,
+						Round:   e.Round,
+						Reports: e.Reports,
+						Dups:    e.Dups,
+						InRound: inRound[e.Leaf],
+					}
+				}
+			}
+		}
+		st.Merge = m
 	}
 	st.SSE.Clients, st.SSE.DroppedRounds = s.hub.stats()
 	writeJSON(w, http.StatusOK, st)

@@ -33,6 +33,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/loloha-ldp/loloha/internal/persist"
+	"github.com/loloha-ldp/loloha/internal/randsrc"
 	"github.com/loloha-ldp/loloha/internal/server"
 )
 
@@ -63,11 +65,41 @@ type Config struct {
 	AcceptMerges bool
 	// Upstream makes this daemon a collector-tree leaf: instead of merely
 	// closing rounds, the round timer and POST /v1/round/close export each
-	// round's merged tallies and ship them to the parent through this
-	// client. The leaf still publishes its local RoundResult (its user
-	// partition's estimates). A daemon may set both AcceptMerges and
-	// Upstream — an interior node of a deeper tree.
-	Upstream *MergeClient
+	// round's merged tallies, wrap them in a merge envelope and ship them
+	// to the parent through this sender (with durable spooling and
+	// background retry — see LeafID/OutboxDir). The leaf still publishes
+	// its local RoundResult (its user partition's estimates). A daemon may
+	// set both AcceptMerges and Upstream — an interior node of a deeper
+	// tree.
+	Upstream MergeSender
+	// LeafID is this leaf's stable identity in its parent's dedup ledger.
+	// Required with Upstream, and it must survive restarts (a renamed
+	// leaf opens a fresh dedup history at the root).
+	LeafID string
+	// OutboxDir, when set, spools each closed round's envelope to disk
+	// before the first ship attempt and replays unshipped envelopes at
+	// boot, so a leaf crash between export and ack loses nothing. Empty
+	// means in-memory spooling only: retries survive, a crash does not.
+	OutboxDir string
+	// ShipRetryMin/Max bound the shipper's capped exponential backoff
+	// between failed ship attempts. Defaults 200ms and 15s.
+	ShipRetryMin time.Duration
+	ShipRetryMax time.Duration
+	// RoundDeadline, on a root, closes the open round this long after its
+	// first envelope arrives even if leaves are missing — a partial round
+	// with per-leaf attribution in /v1/status — provided at least Quorum
+	// leaves have arrived (below quorum the deadline re-arms). Late
+	// envelopes land in the next round; no report is lost. Zero disables
+	// deadline closing (rounds close via /v1/round/close or RoundEvery).
+	RoundDeadline time.Duration
+	// Quorum is the minimum distinct leaves that must have shipped into
+	// the open round before RoundDeadline may close it. Default 1.
+	Quorum int
+	// ExpectLeaves, when positive, is the tree's leaf count: a deadline
+	// close with fewer arrivals marks the round partial in /v1/status,
+	// and a round reaching ExpectLeaves arrivals closes immediately
+	// instead of waiting out the deadline.
+	ExpectLeaves int
 }
 
 // Server is the daemon engine: listeners, connection registry, SSE hub
@@ -83,7 +115,25 @@ type Server struct {
 	roundTick    time.Duration
 	started      time.Time
 	acceptMerges bool
-	upstream     *MergeClient
+	upstream     MergeSender
+	leafID       string
+	outbox       *outbox
+	shipMin      time.Duration
+	shipMax      time.Duration
+
+	// Root graceful degradation: deadline/quorum round closing with
+	// per-leaf arrival attribution for the open round.
+	roundDeadline time.Duration
+	quorum        int
+	expectLeaves  int
+	arrivalMu     sync.Mutex
+	arrivals      map[string]int // leaf → reports merged into the open round
+	deadlineArm   chan struct{}  // cap 1: first arrival arms the deadline
+
+	// shipMu serializes ship attempts (the background shipper and the
+	// inline attempt a round close makes); shipKick wakes the shipper.
+	shipMu   sync.Mutex
+	shipKick chan struct{}
 
 	// Live counters, all monotonic except tcpLive.
 	tcpTotal     atomic.Uint64
@@ -96,8 +146,11 @@ type Server struct {
 	mergeFrames  atomic.Uint64 // root: merge frames/requests applied
 	mergeReports atomic.Uint64 // root: reports merged from leaves
 	mergeBad     atomic.Uint64 // root: undecodable or mismatched merges
-	shipped      atomic.Uint64 // leaf: rounds shipped upstream
-	shipFailed   atomic.Uint64 // leaf: failed ships (tallies re-imported)
+	mergeDup     atomic.Uint64 // root: envelopes deduplicated, not reapplied
+	partialRound atomic.Uint64 // root: deadline closes below ExpectLeaves
+	shipped      atomic.Uint64 // leaf: envelopes confirmed (applied or dup)
+	shipFailed   atomic.Uint64 // leaf: ship attempts that errored
+	shipRetries  atomic.Uint64 // leaf: backoff retries scheduled
 
 	mu        sync.Mutex
 	listeners []net.Listener
@@ -141,17 +194,58 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SSECapacity < 1 {
 		return nil, fmt.Errorf("netserver: SSECapacity must be at least 1, got %d", cfg.SSECapacity)
 	}
+	if cfg.Upstream != nil {
+		if cfg.LeafID == "" {
+			return nil, fmt.Errorf("netserver: Upstream requires a LeafID (the parent's dedup ledger key)")
+		}
+		if len(cfg.LeafID) > persist.MaxLeafName {
+			return nil, fmt.Errorf("netserver: LeafID %d bytes, max %d", len(cfg.LeafID), persist.MaxLeafName)
+		}
+	}
+	if cfg.OutboxDir != "" && cfg.Upstream == nil {
+		return nil, fmt.Errorf("netserver: OutboxDir without an Upstream to ship to")
+	}
+	if cfg.ShipRetryMin <= 0 {
+		cfg.ShipRetryMin = 200 * time.Millisecond
+	}
+	if cfg.ShipRetryMax <= 0 {
+		cfg.ShipRetryMax = 15 * time.Second
+	}
+	if (cfg.RoundDeadline > 0 || cfg.Quorum > 0 || cfg.ExpectLeaves > 0) && !cfg.AcceptMerges {
+		return nil, fmt.Errorf("netserver: RoundDeadline/Quorum/ExpectLeaves apply to a root (AcceptMerges)")
+	}
+	if cfg.Quorum == 0 {
+		cfg.Quorum = 1
+	}
 	s := &Server{
-		stream:       cfg.Stream,
-		maxFrame:     cfg.MaxFrameBytes,
-		maxBatch:     cfg.MaxBatchBytes,
-		hub:          newHub(cfg.SSECapacity),
-		roundTick:    cfg.RoundEvery,
-		started:      time.Now(),
-		acceptMerges: cfg.AcceptMerges,
-		upstream:     cfg.Upstream,
-		conns:        map[net.Conn]struct{}{},
-		done:         make(chan struct{}),
+		stream:        cfg.Stream,
+		maxFrame:      cfg.MaxFrameBytes,
+		maxBatch:      cfg.MaxBatchBytes,
+		hub:           newHub(cfg.SSECapacity),
+		roundTick:     cfg.RoundEvery,
+		started:       time.Now(),
+		acceptMerges:  cfg.AcceptMerges,
+		upstream:      cfg.Upstream,
+		leafID:        cfg.LeafID,
+		shipMin:       cfg.ShipRetryMin,
+		shipMax:       cfg.ShipRetryMax,
+		roundDeadline: cfg.RoundDeadline,
+		quorum:        cfg.Quorum,
+		expectLeaves:  cfg.ExpectLeaves,
+		conns:         map[net.Conn]struct{}{},
+		done:          make(chan struct{}),
+	}
+	if s.acceptMerges {
+		s.arrivals = map[string]int{}
+		s.deadlineArm = make(chan struct{}, 1)
+	}
+	if s.upstream != nil {
+		ob, err := openOutbox(cfg.OutboxDir, cfg.LeafID)
+		if err != nil {
+			return nil, err
+		}
+		s.outbox = ob
+		s.shipKick = make(chan struct{}, 1)
 	}
 	s.mux = s.newMux()
 	s.wg.Add(1)
@@ -159,6 +253,19 @@ func New(cfg Config) (*Server, error) {
 	if s.roundTick > 0 {
 		s.wg.Add(1)
 		go s.roundTimer()
+	}
+	if s.upstream != nil {
+		s.wg.Add(1)
+		go s.shipper()
+		if n, _ := s.outbox.stats(); n > 0 {
+			// Boot replay: envelopes spooled by a previous process ship as
+			// soon as the parent is reachable.
+			s.kickShipper()
+		}
+	}
+	if s.acceptMerges && s.roundDeadline > 0 {
+		s.wg.Add(1)
+		go s.deadlineLoop()
 	}
 	return s, nil
 }
@@ -205,10 +312,16 @@ func (s *Server) roundTimer() {
 }
 
 // closeRound closes the stream's round through the daemon's role: a leaf
-// exports the tallies and ships them upstream, everything else just
-// closes. The returned error is the ship failure, if any; the local
-// RoundResult is published either way.
+// exports the tallies into the outbox and ships, a root resets its
+// per-leaf arrival attribution, everything else just closes. The
+// returned error is the spool or ship failure, if any; the local
+// RoundResult is published either way, and a failed ship leaves the
+// envelope in the outbox for the background shipper — delivery is
+// deferred, never abandoned.
 func (s *Server) closeRound() (server.RoundResult, error) {
+	if s.acceptMerges {
+		s.resetArrivals()
+	}
 	if s.upstream == nil {
 		return s.stream.CloseRound(), nil
 	}
@@ -218,19 +331,186 @@ func (s *Server) closeRound() (server.RoundResult, error) {
 		// snapshot contract): the round still closes.
 		return s.stream.CloseRound(), err
 	}
-	if _, err := s.upstream.Send(snap); err != nil {
-		// Failed ship: fold the tallies back into the now-open round so
-		// the next successful ship carries them — they arrive late (in
-		// the parent's later round) but are never lost. Snapshots are
-		// not consumed by a failed Send, so the re-import is exact.
-		s.shipFailed.Add(1)
-		if _, mergeErr := s.stream.MergeRemote(snap); mergeErr != nil {
-			return res, fmt.Errorf("netserver: ship failed (%w) and re-import failed (%v)", err, mergeErr)
-		}
-		return res, fmt.Errorf("netserver: shipping round %d upstream: %w", res.Round, err)
+	if res.Reports == 0 {
+		// Nothing to merge upstream; an empty round does not burn a
+		// sequence number or a spool file.
+		return res, nil
 	}
-	s.shipped.Add(1)
+	image, err := persist.Append(nil, snap)
+	if err != nil {
+		return res, fmt.Errorf("netserver: encoding round %d export: %w", res.Round, err)
+	}
+	seq, spoolErr := s.outbox.add(res.Round, image)
+	if shipErr := s.shipPending(); shipErr != nil {
+		// First attempt failed: the envelope stays spooled and the
+		// background shipper retries with backoff until the parent acks.
+		s.kickShipper()
+		return res, fmt.Errorf("netserver: shipping round %d (envelope seq %d) upstream (spooled for retry): %w",
+			res.Round, seq, shipErr)
+	}
+	if spoolErr != nil {
+		// The envelope DID ship; only its durability write failed.
+		return res, spoolErr
+	}
 	return res, nil
+}
+
+// shipPending ships every outbox envelope in sequence order, oldest
+// first, stopping at the first failure. An envelope is removed only on a
+// confirmed ack — applied or duplicate, both mean the parent has it.
+func (s *Server) shipPending() error {
+	s.shipMu.Lock()
+	defer s.shipMu.Unlock()
+	for {
+		item, ok := s.outbox.first()
+		if !ok {
+			return nil
+		}
+		// Applied and duplicate are both confirmations: the parent holds
+		// the envelope's tallies either way.
+		if _, _, err := s.upstream.Ship(item.env); err != nil {
+			s.shipFailed.Add(1)
+			return err
+		}
+		s.outbox.ack(item.seq)
+		s.shipped.Add(1)
+	}
+}
+
+// kickShipper wakes the background shipper without blocking.
+func (s *Server) kickShipper() {
+	select {
+	case s.shipKick <- struct{}{}:
+	default:
+	}
+}
+
+// shipper drains the outbox in the background, retrying failed ships
+// with capped exponential backoff plus deterministic jitter (seeded from
+// the leaf identity, so a fleet retrying the same outage spreads out
+// while any one leaf stays reproducible).
+func (s *Server) shipper() {
+	defer s.wg.Done()
+	jitter := randsrc.NewSplitMix64(seqHash(s.leafID))
+	backoff := s.shipMin
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.shipKick:
+		}
+		for {
+			if err := s.shipPending(); err == nil {
+				backoff = s.shipMin
+				break
+			}
+			s.shipRetries.Add(1)
+			delay := backoff + time.Duration(jitter.Uint64()%uint64(backoff/2+1))
+			if backoff *= 2; backoff > s.shipMax {
+				backoff = s.shipMax
+			}
+			select {
+			case <-s.done:
+				return
+			case <-time.After(delay):
+			}
+		}
+	}
+}
+
+// FlushOutbox blocks until every spooled envelope has been confirmed by
+// the parent or the timeout passes, returning an error in the latter
+// case with the count still unshipped. A non-leaf returns nil.
+func (s *Server) FlushOutbox(timeout time.Duration) error {
+	if s.outbox == nil {
+		return nil
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		n, oldest := s.outbox.stats()
+		if n == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("netserver: %d envelopes still unshipped (oldest round %d)", n, oldest)
+		}
+		s.kickShipper()
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// noteLeafArrival records a fresh (non-duplicate) envelope merged into
+// the open round, for partial-round attribution and the deadline/quorum
+// close. The first arrival of a round arms the deadline timer; reaching
+// ExpectLeaves distinct leaves closes the round immediately.
+func (s *Server) noteLeafArrival(leaf string, reports int) {
+	s.arrivalMu.Lock()
+	prev := len(s.arrivals)
+	s.arrivals[leaf] += reports
+	n := len(s.arrivals)
+	s.arrivalMu.Unlock()
+	if s.roundDeadline == 0 || n == prev {
+		return // no deadline configured, or a leaf shipping twice in one round
+	}
+	if n == 1 {
+		select {
+		case s.deadlineArm <- struct{}{}:
+		default:
+		}
+	}
+	if s.expectLeaves > 0 && n == s.expectLeaves {
+		// Everybody reported: close now rather than waiting out the
+		// deadline. closeRound resets the arrival map; the already-armed
+		// timer fires into an empty (or re-armed) round harmlessly.
+		s.closeRound()
+	}
+}
+
+func (s *Server) resetArrivals() {
+	s.arrivalMu.Lock()
+	clear(s.arrivals)
+	s.arrivalMu.Unlock()
+}
+
+// arrivalCount returns the distinct leaves merged into the open round.
+func (s *Server) arrivalCount() int {
+	s.arrivalMu.Lock()
+	defer s.arrivalMu.Unlock()
+	return len(s.arrivals)
+}
+
+// deadlineLoop closes a root's round RoundDeadline after the round's
+// first envelope arrives, once at least Quorum leaves have shipped —
+// graceful degradation: a slow or dead leaf delays the round by at most
+// the deadline instead of stalling it forever, and its late envelope
+// lands in the next round. Below quorum the deadline re-arms.
+func (s *Server) deadlineLoop() {
+	defer s.wg.Done()
+	timer := time.NewTimer(s.roundDeadline)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.deadlineArm:
+			timer.Reset(s.roundDeadline)
+		case <-timer.C:
+			n := s.arrivalCount()
+			if n == 0 {
+				continue // the round already closed through another path
+			}
+			if n < s.quorum {
+				timer.Reset(s.roundDeadline)
+				continue
+			}
+			if s.expectLeaves > 0 && n < s.expectLeaves {
+				s.partialRound.Add(1)
+			}
+			s.closeRound()
+		}
+	}
 }
 
 // ServeTCP accepts raw-frame connections on l until l or the server

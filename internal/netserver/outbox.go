@@ -1,0 +1,213 @@
+package netserver
+
+// The leaf outbox is the durable half of exactly-once delivery: a closed
+// round's exported tallies are wrapped in an LME1 envelope and spooled to
+// disk BEFORE the first ship attempt, so a leaf crash anywhere between
+// round close and ack loses nothing — boot replays every unshipped
+// envelope in sequence order, and the root's ledger absorbs whatever was
+// actually delivered before the crash as duplicates. The envelope
+// sequence counter itself is durable (the SEQ file), so a restarted leaf
+// never reuses a sequence number the root has already applied, which is
+// what keeps "fresh envelope" and "retry" distinguishable forever.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/loloha-ldp/loloha/internal/persist"
+)
+
+const (
+	// outboxSeqFile holds the last assigned envelope sequence number
+	// (decimal), replaced atomically before the envelope it numbers is
+	// spooled. A crash between the two skips a sequence number, which is
+	// harmless: the root only needs monotonicity, not density.
+	outboxSeqFile = "SEQ"
+	// outboxEnvSuffix names spooled envelope files: env-%016x.lme1.
+	outboxEnvSuffix = ".lme1"
+	outboxEnvPrefix = "env-"
+)
+
+// outboxItem is one unshipped envelope.
+type outboxItem struct {
+	seq   uint64
+	round int
+	env   []byte // complete LME1 bytes, shipped verbatim
+}
+
+// outbox spools unshipped merge envelopes. With a directory it is
+// durable (atomic temp+rename per envelope, like the periodic snapshot);
+// without one it degrades to in-memory spooling — retries survive, a
+// process crash does not, and the boot replay has nothing to read.
+type outbox struct {
+	dir  string // "" = memory mode
+	leaf string
+
+	mu      sync.Mutex
+	nextSeq uint64 // last assigned sequence number
+	pending []outboxItem
+}
+
+// openOutbox opens (or initializes) the outbox for leaf in dir, replaying
+// any spooled envelopes left by a previous process. An unreadable spool
+// is a hard error: silently skipping an envelope would lose a round.
+func openOutbox(dir, leaf string) (*outbox, error) {
+	ob := &outbox{dir: dir, leaf: leaf}
+	if dir == "" {
+		return ob, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("netserver: outbox dir: %w", err)
+	}
+	if raw, err := os.ReadFile(filepath.Join(dir, outboxSeqFile)); err == nil {
+		seq, perr := strconv.ParseUint(strings.TrimSpace(string(raw)), 10, 64)
+		if perr != nil {
+			return nil, fmt.Errorf("netserver: outbox SEQ file: %w", perr)
+		}
+		ob.nextSeq = seq
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("netserver: outbox SEQ file: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("netserver: outbox dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, outboxEnvPrefix) || !strings.HasSuffix(name, outboxEnvSuffix) {
+			continue // SEQ file, temp files cleaned below, foreign files
+		}
+		env, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("netserver: outbox replay %s: %w", name, err)
+		}
+		h, err := persist.ParseEnvelopeHeader(env)
+		if err != nil {
+			return nil, fmt.Errorf("netserver: outbox replay %s: %w", name, err)
+		}
+		if string(h.Leaf) != leaf {
+			return nil, fmt.Errorf("netserver: outbox replay %s: envelope belongs to leaf %q, this daemon is %q",
+				name, h.Leaf, leaf)
+		}
+		ob.pending = append(ob.pending, outboxItem{seq: h.Seq, round: h.Round, env: env})
+		if h.Seq > ob.nextSeq {
+			ob.nextSeq = h.Seq
+		}
+	}
+	sort.Slice(ob.pending, func(a, b int) bool { return ob.pending[a].seq < ob.pending[b].seq })
+	return ob, nil
+}
+
+// add assigns the next sequence number, wraps image (persist.Append
+// bytes) in an envelope and spools it. The in-memory entry is always
+// created — a disk error degrades durability, not delivery — and is
+// reported alongside the assigned sequence number.
+func (ob *outbox) add(round int, image []byte) (uint64, error) {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	seq := ob.nextSeq + 1
+	env, err := persist.AppendEnvelopeImage(nil, ob.leaf, round, seq, image)
+	if err != nil {
+		return 0, err
+	}
+	ob.nextSeq = seq
+	ob.pending = append(ob.pending, outboxItem{seq: seq, round: round, env: env})
+	if ob.dir == "" {
+		return seq, nil
+	}
+	// SEQ first, then the envelope: if the crash lands between the two,
+	// the number is burned but never reused.
+	if err := ob.writeAtomic(outboxSeqFile, []byte(strconv.FormatUint(seq, 10))); err != nil {
+		return seq, fmt.Errorf("netserver: outbox SEQ: %w", err)
+	}
+	if err := ob.writeAtomic(envFileName(seq), env); err != nil {
+		return seq, fmt.Errorf("netserver: spooling round %d: %w", round, err)
+	}
+	return seq, nil
+}
+
+func envFileName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", outboxEnvPrefix, seq, outboxEnvSuffix)
+}
+
+// writeAtomic replaces dir/name via temp file + fsync + rename, the same
+// torn-write guarantee as the daemon's periodic snapshots.
+func (ob *outbox) writeAtomic(name string, data []byte) error {
+	f, err := os.CreateTemp(ob.dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(ob.dir, name))
+}
+
+// first returns the oldest unshipped envelope, if any. The bytes are
+// shipped verbatim; they stay owned by the outbox until ack.
+func (ob *outbox) first() (outboxItem, bool) {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	if len(ob.pending) == 0 {
+		return outboxItem{}, false
+	}
+	return ob.pending[0], true
+}
+
+// ack marks seq delivered: the entry and its spool file are removed.
+func (ob *outbox) ack(seq uint64) {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	for i := range ob.pending {
+		if ob.pending[i].seq == seq {
+			ob.pending = append(ob.pending[:i], ob.pending[i+1:]...)
+			break
+		}
+	}
+	if ob.dir != "" {
+		// Best-effort: a leftover file replays as a duplicate, which the
+		// root's ledger absorbs.
+		os.Remove(filepath.Join(ob.dir, envFileName(seq)))
+	}
+}
+
+// stats returns the unshipped count and the oldest unshipped round
+// (-1 when empty) for /v1/status.
+func (ob *outbox) stats() (int, int) {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	if len(ob.pending) == 0 {
+		return 0, -1
+	}
+	return len(ob.pending), ob.pending[0].round
+}
+
+// seqHash seeds the shipper's deterministic jitter stream from the leaf
+// identity (FNV-1a), so a fleet of leaves retrying the same outage
+// spreads out instead of thundering in lockstep, while any single leaf's
+// schedule stays reproducible.
+func seqHash(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -75,7 +75,10 @@ func TestCollectorTreeParityTCP(t *testing.T) {
 						t.Fatal(err)
 					}
 					t.Cleanup(func() { up.Close() })
-					leafSrvs[i] = newTestServer(t, leafStreams[i], Config{Upstream: up})
+					leafSrvs[i] = newTestServer(t, leafStreams[i], Config{
+						Upstream: up,
+						LeafID:   fmt.Sprintf("leaf-%d", i),
+					})
 				}
 				clients := treeClients(t, proto, ref, leafStreams, n)
 
@@ -91,9 +94,9 @@ func TestCollectorTreeParityTCP(t *testing.T) {
 					}
 					refRes := ref.CloseRound()
 
-					// Each leaf's closeRound ships its tallies; Send confirms
-					// through the ack, so by the time it returns the root has
-					// applied them.
+					// Each leaf's closeRound spools and ships its round
+					// envelope; the per-envelope ack confirms delivery, so by
+					// the time it returns the root has applied the tallies.
 					partReports := 0
 					for i, srv := range leafSrvs {
 						res, err := srv.closeRound()
@@ -255,8 +258,14 @@ func TestMergeRejections(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer up.Close()
-		if _, err := up.Send(mismatched); err == nil {
-			t.Fatal("Send of a mismatched snapshot succeeded, want dropped connection")
+		badEnv, err := persist.AppendEnvelope(nil, &persist.Envelope{
+			Leaf: "rogue", Round: 0, Seq: 1, Snap: mismatched,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := up.Ship(badEnv); err == nil {
+			t.Fatal("Ship of a mismatched snapshot succeeded, want dropped connection")
 		}
 
 		ts := httptest.NewServer(srv.Handler())

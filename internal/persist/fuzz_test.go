@@ -53,3 +53,49 @@ func FuzzSnapshotDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzMergeEnvelope drives the LME1 envelope decoder — the bytes a root
+// accepts from the network — with hostile input: malformed envelopes must
+// error cleanly, the zero-copy header parse must agree with the full
+// decode about validity of the framing, and a valid envelope must
+// re-encode byte-identically.
+func FuzzMergeEnvelope(f *testing.F) {
+	snap := &Snapshot{
+		SpecHash:  7,
+		Round:     2,
+		HasLedger: true,
+		Shards:    []Shard{{Counts: []int64{4, 0, -1}, N: 3, Tallied: 3}},
+		Ledger:    []LedgerEntry{{Leaf: "a", Seq: 5, Round: 1, Reports: 10}},
+	}
+	seed, err := AppendEnvelope(nil, &Envelope{Leaf: "leaf-0", Round: 2, Seq: 6, Snap: snap})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)-3])
+	f.Add([]byte(EnvelopeMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, herr := ParseEnvelopeHeader(data)
+		env, derr := DecodeEnvelope(data)
+		if herr != nil {
+			if derr == nil {
+				t.Fatalf("full decode accepted framing the header parse rejected: %v", herr)
+			}
+			return
+		}
+		if derr != nil {
+			// Framing valid, inner image bad — the dedup fast path.
+			return
+		}
+		if string(h.Leaf) != env.Leaf || h.Round != env.Round || h.Seq != env.Seq {
+			t.Fatalf("header view %+v disagrees with decode %+v", h, env)
+		}
+		enc, err := AppendEnvelope(nil, env)
+		if err != nil {
+			t.Fatalf("decoded envelope does not re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("valid envelope is not canonical:\n in %x\nout %x", data, enc)
+		}
+	})
+}

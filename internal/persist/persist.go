@@ -30,6 +30,10 @@
 //	                previous ID, so IDs are strictly ascending) ++
 //	                longitudinal.AppendRegistration bytes
 //	         ⌈U/8⌉  reported bitset, bit i = i-th user reported this round
+//	if flags&2 (collector-tree ledger, strictly ascending by leaf name):
+//	  u32  E — ledger entry count
+//	  E ×  u8 leaf-name length ++ name ++ u64 applied seq ++ u32 applied
+//	       round ++ u64 reports merged ++ u64 duplicates suppressed
 //	u32  CRC32 (IEEE) of every preceding byte
 //
 // The encoding is canonical: a Snapshot has exactly one encoding (user
@@ -67,6 +71,15 @@ const (
 	// merge payload omits them: the root never owns a leaf's users, only
 	// its tallies.
 	flagUsers = 1
+	// flagLedger marks snapshots carrying the collector-tree ledger: the
+	// root's per-leaf applied-envelope watermarks. The ledger rides the
+	// same image as the tallies, so a restored root cannot disagree with
+	// itself about which envelopes its counts already contain.
+	flagLedger = 2
+
+	// ledgerFixedBytes is one ledger entry minus its name: length byte +
+	// seq + round + reports + duplicates.
+	ledgerFixedBytes = 1 + 8 + 4 + 8 + 8
 
 	// MaxShards bounds the shard count a decoder will accept; far above
 	// any real stream (shards default to the CPU count) while keeping a
@@ -100,6 +113,23 @@ type Shard struct {
 	Users []User
 }
 
+// LedgerEntry is one leaf's applied-envelope watermark in the root's
+// dedup ledger: every envelope with Seq ≤ the recorded Seq is already in
+// the root's tallies and must be acknowledged without being reapplied.
+type LedgerEntry struct {
+	// Leaf is the shipping leaf's stable identity (Envelope.Leaf).
+	Leaf string
+	// Seq is the highest envelope sequence number applied from the leaf.
+	Seq uint64
+	// Round is the leaf-local round of that envelope (attribution).
+	Round int
+	// Reports counts reports merged from the leaf, cumulatively.
+	Reports uint64
+	// Dups counts duplicate envelopes suppressed — the observable proof
+	// that the at-least-once transport never double-counted.
+	Dups uint64
+}
+
 // Snapshot is the decoded form of one LSS1 image.
 type Snapshot struct {
 	// SpecHash fingerprints the producing protocol's configuration;
@@ -111,8 +141,15 @@ type Snapshot struct {
 	// HasUsers records whether registration sections were encoded; it is
 	// set independently of len(Users) so an empty table round-trips.
 	HasUsers bool
+	// HasLedger records whether the collector-tree ledger section was
+	// encoded, independently of len(Ledger) so an empty ledger
+	// round-trips.
+	HasLedger bool
 	// Shards holds one section per stream shard.
 	Shards []Shard
+	// Ledger holds the root's per-leaf applied-envelope watermarks in
+	// strictly ascending leaf-name order; nil without HasLedger.
+	Ledger []LedgerEntry
 }
 
 // Reports returns the total reports tallied into the snapshotted round,
@@ -163,6 +200,9 @@ func Append(dst []byte, s *Snapshot) ([]byte, error) {
 	if s.HasUsers {
 		flags |= flagUsers
 	}
+	if s.HasLedger {
+		flags |= flagLedger
+	}
 	dst = binary.LittleEndian.AppendUint32(dst, flags)
 	for i := range s.Shards {
 		sh := &s.Shards[i]
@@ -197,6 +237,18 @@ func Append(dst []byte, s *Snapshot) ([]byte, error) {
 			if sh.Users[ui].Reported {
 				dst[base+ui/8] |= 1 << (uint(ui) % 8)
 			}
+		}
+	}
+	if s.HasLedger {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s.Ledger)))
+		for i := range s.Ledger {
+			e := &s.Ledger[i]
+			dst = append(dst, byte(len(e.Leaf)))
+			dst = append(dst, e.Leaf...)
+			dst = binary.LittleEndian.AppendUint64(dst, e.Seq)
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(e.Round))
+			dst = binary.LittleEndian.AppendUint64(dst, e.Reports)
+			dst = binary.LittleEndian.AppendUint64(dst, e.Dups)
 		}
 	}
 	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:])), nil
@@ -237,6 +289,26 @@ func validateEncodable(s *Snapshot) error {
 			prev = id
 		}
 	}
+	if !s.HasLedger {
+		if len(s.Ledger) != 0 {
+			return fmt.Errorf("persist: %d ledger entries in a snapshot without HasLedger", len(s.Ledger))
+		}
+		return nil
+	}
+	prevName := ""
+	for i := range s.Ledger {
+		e := &s.Ledger[i]
+		if len(e.Leaf) == 0 || len(e.Leaf) > MaxLeafName {
+			return fmt.Errorf("persist: ledger entry %d leaf-name length %d, want 1..%d", i, len(e.Leaf), MaxLeafName)
+		}
+		if i > 0 && e.Leaf <= prevName {
+			return fmt.Errorf("persist: ledger leaf names not strictly ascending (%q after %q)", e.Leaf, prevName)
+		}
+		prevName = e.Leaf
+		if e.Round < 0 || int64(e.Round) > math.MaxUint32 {
+			return fmt.Errorf("persist: ledger entry %q round %d outside wire range", e.Leaf, e.Round)
+		}
+	}
 	return nil
 }
 
@@ -262,10 +334,11 @@ func Decode(src []byte) (*Snapshot, error) {
 	}
 	shards := binary.LittleEndian.Uint32(src[16:])
 	flags := binary.LittleEndian.Uint32(src[20:])
-	if flags&^uint32(flagUsers) != 0 {
+	if flags&^uint32(flagUsers|flagLedger) != 0 {
 		return nil, fmt.Errorf("persist: unknown flags %#x", flags)
 	}
 	s.HasUsers = flags&flagUsers != 0
+	s.HasLedger = flags&flagLedger != 0
 	if shards == 0 || shards > MaxShards {
 		return nil, fmt.Errorf("persist: snapshot claims %d shards, want 1..%d", shards, MaxShards)
 	}
@@ -284,10 +357,62 @@ func Decode(src []byte) (*Snapshot, error) {
 			return nil, fmt.Errorf("persist: shard %d: %w", i, err)
 		}
 	}
+	if s.HasLedger {
+		var err error
+		rest, err = decodeLedger(rest, s)
+		if err != nil {
+			return nil, fmt.Errorf("persist: ledger: %w", err)
+		}
+	}
 	if len(rest) != 0 {
-		return nil, fmt.Errorf("persist: %d trailing bytes after the last shard section", len(rest))
+		return nil, fmt.Errorf("persist: %d trailing bytes after the last section", len(rest))
 	}
 	return s, nil
+}
+
+// decodeLedger decodes the collector-tree ledger section into s.Ledger.
+func decodeLedger(src []byte, s *Snapshot) ([]byte, error) {
+	if len(src) < 4 {
+		return nil, fmt.Errorf("truncated entry count")
+	}
+	entries := binary.LittleEndian.Uint32(src)
+	rest := src[4:]
+	// Every entry costs at least its fixed prefix plus a one-byte name;
+	// checking the total up front keeps a hostile count from sizing the
+	// slice.
+	if uint64(len(rest)) < uint64(entries)*(ledgerFixedBytes+1) {
+		return nil, fmt.Errorf("%d entries need at least %d bytes, have %d",
+			entries, uint64(entries)*(ledgerFixedBytes+1), len(rest))
+	}
+	if entries > 0 {
+		s.Ledger = make([]LedgerEntry, entries)
+	}
+	prev := ""
+	for i := range s.Ledger {
+		if len(rest) < 1 {
+			return nil, fmt.Errorf("truncated entry %d", i)
+		}
+		nameLen := int(rest[0])
+		if nameLen == 0 {
+			return nil, fmt.Errorf("entry %d has an empty leaf name", i)
+		}
+		if len(rest) < ledgerFixedBytes+nameLen {
+			return nil, fmt.Errorf("truncated entry %d", i)
+		}
+		e := &s.Ledger[i]
+		e.Leaf = string(rest[1 : 1+nameLen])
+		if i > 0 && e.Leaf <= prev {
+			return nil, fmt.Errorf("leaf names not strictly ascending (%q after %q)", e.Leaf, prev)
+		}
+		prev = e.Leaf
+		rest = rest[1+nameLen:]
+		e.Seq = binary.LittleEndian.Uint64(rest)
+		e.Round = int(binary.LittleEndian.Uint32(rest[8:]))
+		e.Reports = binary.LittleEndian.Uint64(rest[12:])
+		e.Dups = binary.LittleEndian.Uint64(rest[20:])
+		rest = rest[28:]
+	}
+	return rest, nil
 }
 
 func decodeShard(src []byte, sh *Shard, hasUsers bool) ([]byte, error) {

@@ -165,7 +165,8 @@ func TestSnapshotDecodeRejections(t *testing.T) {
 		{"empty", func(b []byte) []byte { return nil }, "short snapshot"},
 		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return recrc(b) }, "bad magic"},
 		{"flipped bit", func(b []byte) []byte { b[9] ^= 1; return b }, "checksum"},
-		{"unknown flags", func(b []byte) []byte { b[20] |= 2; return recrc(b) }, "unknown flags"},
+		{"unknown flags", func(b []byte) []byte { b[20] |= 4; return recrc(b) }, "unknown flags"},
+		{"ledger flag without section", func(b []byte) []byte { b[20] |= 2; return recrc(b) }, "ledger"},
 		{"zero shards", func(b []byte) []byte {
 			binary.LittleEndian.PutUint32(b[16:], 0)
 			return recrc(b)
@@ -182,6 +183,108 @@ func TestSnapshotDecodeRejections(t *testing.T) {
 			binary.LittleEndian.PutUint32(b[headerBytes:], 1<<27)
 			return recrc(b)
 		}, "counts need"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mut(append([]byte(nil), enc...))
+			if _, err := Decode(b); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func ledgerSample() *Snapshot {
+	s := sample()
+	s.HasLedger = true
+	s.Ledger = []LedgerEntry{
+		{Leaf: "leaf-a", Seq: 17, Round: 6, Reports: 1200, Dups: 3},
+		{Leaf: "leaf-b", Seq: 9, Round: 7, Reports: 801, Dups: 0},
+	}
+	return s
+}
+
+func TestSnapshotLedgerRoundTrip(t *testing.T) {
+	s := ledgerSample()
+	dec, err := Decode(reencode(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.HasLedger || len(dec.Ledger) != len(s.Ledger) {
+		t.Fatalf("ledger lost: HasLedger=%v entries=%d", dec.HasLedger, len(dec.Ledger))
+	}
+	for i, want := range s.Ledger {
+		if dec.Ledger[i] != want {
+			t.Fatalf("ledger[%d] = %+v, want %+v", i, dec.Ledger[i], want)
+		}
+	}
+}
+
+// TestSnapshotEmptyLedgerRoundTrips pins that HasLedger survives an empty
+// ledger — a root snapshotting before its first merge must restore as a
+// root, and the flag must stay distinguishable from a plain leaf image.
+func TestSnapshotEmptyLedgerRoundTrips(t *testing.T) {
+	s := &Snapshot{SpecHash: 1, HasLedger: true, Shards: []Shard{{Counts: []int64{0}}}}
+	dec, err := Decode(reencode(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.HasLedger {
+		t.Fatal("HasLedger lost on an empty ledger")
+	}
+}
+
+func TestSnapshotLedgerEncodeRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Snapshot)
+		want string
+	}{
+		{"ledger without flag", func(s *Snapshot) { s.HasLedger = false }, "without HasLedger"},
+		{"empty leaf name", func(s *Snapshot) { s.Ledger[0].Leaf = "" }, "leaf-name length"},
+		{"oversize leaf name", func(s *Snapshot) { s.Ledger[0].Leaf = strings.Repeat("x", 256) }, "leaf-name length"},
+		{"unsorted leaves", func(s *Snapshot) { s.Ledger[1].Leaf = "leaf-a" }, "strictly ascending"},
+		{"negative entry round", func(s *Snapshot) { s.Ledger[0].Round = -1 }, "round"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := ledgerSample()
+			tc.mut(s)
+			if _, err := Append(nil, s); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSnapshotLedgerDecodeRejections(t *testing.T) {
+	enc, err := Append(nil, ledgerSample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recrc := func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[len(b)-4:], crc32.ChecksumIEEE(b[:len(b)-4]))
+		return b
+	}
+	// The ledger section starts right after the shard sections; its entry
+	// count is the first u32 there.
+	countOff := len(enc) - crcBytes
+	for i := len(ledgerSample().Ledger) - 1; i >= 0; i-- {
+		e := ledgerSample().Ledger[i]
+		countOff -= ledgerFixedBytes + len(e.Leaf)
+	}
+	countOff -= 4
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want string
+	}{
+		{"hostile entry count", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[countOff:], 1<<30)
+			return recrc(b)
+		}, "entries need"},
+		{"truncated entry", func(b []byte) []byte { return recrc(b[:len(b)-6]) }, "ledger"},
+		{"empty entry name", func(b []byte) []byte { b[countOff+4] = 0; return recrc(b) }, "leaf name"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -80,6 +80,17 @@ func (s *Stream) exportState() (*persist.Snapshot, error) {
 		// makes the image independent of map iteration order.
 		sort.Slice(dst.Users, func(a, b int) bool { return dst.Users[a].ID < dst.Users[b].ID })
 	}
+	if len(s.ledger) > 0 {
+		// The dedup ledger rides the same image as the tallies it
+		// describes, so a restored root can never hold counts it does not
+		// remember applying (or remember applies it does not hold).
+		snap.HasLedger = true
+		snap.Ledger = make([]persist.LedgerEntry, 0, len(s.ledger))
+		for _, e := range s.ledger {
+			snap.Ledger = append(snap.Ledger, e)
+		}
+		sort.Slice(snap.Ledger, func(a, b int) bool { return snap.Ledger[a].Leaf < snap.Ledger[b].Leaf })
+	}
 	return snap, nil
 }
 
@@ -129,6 +140,12 @@ func RestoreStream(r io.Reader, proto longitudinal.Protocol, opts ...Option) (*S
 		}
 		s.shards[0].tallied += src.Tallied
 	}
+	if len(snap.Ledger) > 0 {
+		s.ledger = make(map[string]persist.LedgerEntry, len(snap.Ledger))
+		for _, e := range snap.Ledger {
+			s.ledger[e.Leaf] = e
+		}
+	}
 	s.baseRound = snap.Round
 	return s, nil
 }
@@ -146,6 +163,13 @@ func (s *Stream) MergeRemote(snap *persist.Snapshot) (int, error) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.importTallies(snap)
+}
+
+// importTallies adds snap's tallies into shard 0. Callers hold s.mu (any
+// mode) so the round cannot close mid-merge; the shard lock serializes
+// against concurrent ingestion.
+func (s *Stream) importTallies(snap *persist.Snapshot) (int, error) {
 	sh := s.shards[0]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -166,6 +190,91 @@ func (s *Stream) MergeRemote(snap *persist.Snapshot) (int, error) {
 		merged += src.Tallied
 	}
 	return merged, nil
+}
+
+// MergeEnvelope applies one collector-tree merge envelope exactly once —
+// the root half of exactly-once delivery. The per-leaf ledger records the
+// highest envelope sequence number already applied; an envelope at or
+// below that watermark is a retry of something the tallies already
+// contain, so it is acknowledged as a duplicate without touching a count
+// (and without even decoding would-be tallies — the netserver layer
+// checks ShouldApply first). The ledger rides the stream's snapshot, so a
+// restored root keeps refusing the duplicates its counts already absorbed.
+//
+// Returns the reports merged and whether the envelope was a duplicate.
+func (s *Stream) MergeEnvelope(env *persist.Envelope) (int, bool, error) {
+	if len(env.Leaf) == 0 || len(env.Leaf) > persist.MaxLeafName {
+		return 0, false, fmt.Errorf("server: envelope leaf name length %d, want 1..%d",
+			len(env.Leaf), persist.MaxLeafName)
+	}
+	if env.Snap.SpecHash != s.specHash {
+		return 0, false, fmt.Errorf("server: snapshot spec hash %#016x, stream has %#016x: %w",
+			env.Snap.SpecHash, s.specHash, ErrSnapshotMismatch)
+	}
+	// Exclusive: the ledger update and the tally import must be atomic
+	// with respect to Snapshot's exportState, or an image could record the
+	// envelope as applied while missing its counts (or vice versa).
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry, seen := s.ledger[env.Leaf]
+	if seen && env.Seq <= entry.Seq {
+		entry.Dups++
+		s.ledger[env.Leaf] = entry
+		return 0, true, nil
+	}
+	merged, err := s.importTallies(env.Snap)
+	if err != nil {
+		return 0, false, err
+	}
+	entry.Leaf = env.Leaf
+	entry.Seq = env.Seq
+	entry.Round = env.Round
+	entry.Reports += uint64(merged)
+	if s.ledger == nil {
+		s.ledger = make(map[string]persist.LedgerEntry)
+	}
+	s.ledger[env.Leaf] = entry
+	return merged, false, nil
+}
+
+// ShouldApply reports whether an envelope with the given identity would
+// merge (true) or be deduplicated (false). It lets the network layer skip
+// decoding a duplicate's payload; the ledger re-check inside
+// MergeEnvelope remains authoritative.
+func (s *Stream) ShouldApply(leaf []byte, seq uint64) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entry, seen := s.ledger[string(leaf)]
+	return !seen || seq > entry.Seq
+}
+
+// RecordDuplicate bumps the duplicate counter for a leaf whose envelope
+// was deduplicated on the ShouldApply fast path (without a MergeEnvelope
+// call). Unknown leaves are ignored: a duplicate implies a prior apply.
+func (s *Stream) RecordDuplicate(leaf []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if entry, seen := s.ledger[string(leaf)]; seen {
+		entry.Dups++
+		s.ledger[string(leaf)] = entry
+	}
+}
+
+// Ledger returns a copy of the stream's per-leaf applied-envelope
+// watermarks in ascending leaf-name order; nil when the stream never
+// merged an envelope.
+func (s *Stream) Ledger() []persist.LedgerEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.ledger) == 0 {
+		return nil
+	}
+	out := make([]persist.LedgerEntry, 0, len(s.ledger))
+	for _, e := range s.ledger {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Leaf < out[b].Leaf })
+	return out
 }
 
 // CloseRoundExport closes the current round exactly like CloseRound and

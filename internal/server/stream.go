@@ -9,6 +9,7 @@ import (
 	"github.com/loloha-ldp/loloha/internal/bitset"
 	"github.com/loloha-ldp/loloha/internal/heavyhitter"
 	"github.com/loloha-ldp/loloha/internal/longitudinal"
+	"github.com/loloha-ldp/loloha/internal/persist"
 	"github.com/loloha-ldp/loloha/internal/postprocess"
 	"github.com/loloha-ldp/loloha/internal/randsrc"
 )
@@ -69,6 +70,12 @@ type Stream struct {
 	roundCap int
 	dropped  uint64
 	closed   bool
+
+	// ledger holds the per-leaf applied-envelope watermarks of a
+	// collector-tree root (leaf name → highest applied seq plus
+	// attribution counters); nil until the first MergeEnvelope. Guarded by
+	// mu: reads under the shared lock, updates under the exclusive lock.
+	ledger map[string]persist.LedgerEntry
 
 	// baseRound offsets round indices after RestoreStream: the snapshot's
 	// open round was baseRound, rounds published before it are not

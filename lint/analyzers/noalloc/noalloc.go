@@ -62,6 +62,11 @@ var trustTable = []trustRule{
 	// allocating (and the steady-state chain is nil).
 	{"errors", "", "Join"},
 	{"errors", "", "Is"},
+	// crc32's IEEE fast path builds its slicing-by-8 table once under a
+	// sync.Once at first use; every subsequent checksum is table lookups
+	// over the caller's bytes (vetted by the envelope-reader AllocsPerRun
+	// pin).
+	{"hash/crc32", "", "ChecksumIEEE"},
 	// io.ReadFull fills a caller buffer; any allocation belongs to the
 	// underlying Reader (the netserver read loop hands it a bufio.Reader
 	// with a fixed buffer, vetted by the frame-path AllocsPerRun pin).
@@ -370,6 +375,11 @@ func (c *checker) expr(e ast.Expr) {
 			c.bad(e.Pos(), "string concatenation allocates")
 			return
 		}
+		if e.Op == token.EQL || e.Op == token.NEQ {
+			c.cmpOperand(e.X)
+			c.cmpOperand(e.Y)
+			return
+		}
 		c.expr(e.X)
 		c.expr(e.Y)
 	case *ast.CallExpr:
@@ -606,6 +616,32 @@ func recvName(fn *types.Func) string {
 		return n.Obj().Name()
 	}
 	return ""
+}
+
+// cmpOperand walks one operand of an ==/!= comparison, treating a direct
+// []byte→string conversion as free: the compiler lowers string(b) == s to
+// a length check plus memequal without materializing the string (the
+// wire-reader magic checks depend on this).
+func (c *checker) cmpOperand(e ast.Expr) {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && isString(tv.Type) && isByteSlice(c.pass.TypesInfo.TypeOf(call.Args[0])) {
+			c.expr(call.Args[0])
+			return
+		}
+	}
+	c.expr(e)
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
 }
 
 func isString(t types.Type) bool {

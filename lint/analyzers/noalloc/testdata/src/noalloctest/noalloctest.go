@@ -51,6 +51,25 @@ func convert(b []byte) string {
 }
 
 //loloha:noalloc
+func magicCheck(b []byte) bool {
+	// string(b) used directly as a comparison operand is lowered to
+	// memequal — no string is materialized.
+	return string(b[:4]) == "LME1" && string(b) != "nope"
+}
+
+func makeString() string { return "x" }
+
+//loloha:noalloc
+func cmpStillChecksOperands(b []byte) bool {
+	return string(b) == makeString() // want "calls makeString, which is not annotated"
+}
+
+//loloha:noalloc
+func runeConversionStillFlagged(r rune) bool {
+	return string(r) == "a" // want "conversion to string allocates"
+}
+
+//loloha:noalloc
 func callsFmt(x int) {
 	fmt.Println(x) // want "not in the noalloc trust table" "boxes it"
 }
